@@ -1,0 +1,35 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one figure of the paper via the experiment
+harness in :mod:`repro.experiments`, records the structured rows in
+``benchmark.extra_info`` and prints the same table the paper reports.
+Each experiment executes once per benchmark (``pedantic`` with a single
+round) — the interesting output is the *table*, not the wall time of the
+simulator.
+
+Scale: ``RANK_DIVISOR`` (default 8 → 320 simulated ranks for the paper's
+2560) keeps the full suite to a few minutes.  Set the environment
+variable ``REPRO_RANK_DIVISOR=1`` to run the published scale.
+"""
+
+import os
+
+import pytest
+
+#: Paper-rank divisor for all figure benchmarks.
+RANK_DIVISOR = int(os.environ.get("REPRO_RANK_DIVISOR", "8"))
+
+#: Repeats per cell (the paper uses 5; 2 keeps the suite quick).
+REPEATS = int(os.environ.get("REPRO_REPEATS", "2"))
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Run one figure harness exactly once and record its rows."""
+
+    def run(fn, **kwargs):
+        rows = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        benchmark.extra_info["rows"] = rows
+        return rows
+
+    return run

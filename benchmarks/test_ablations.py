@@ -1,0 +1,73 @@
+"""Bench: ablations on HFetch's design choices (DESIGN.md §4)."""
+
+from repro.experiments.ablations import (
+    ablate_decay_base,
+    ablate_dhm,
+    ablate_lookahead,
+    ablate_pfs_striping,
+    ablate_reactiveness_trigger,
+    ablate_scoring_model,
+    ablate_segment_size,
+)
+from repro.metrics.report import format_table
+
+
+def test_ablation_scoring_decay_base(figure):
+    rows = figure(ablate_decay_base)
+    print()
+    print(format_table(rows, title="Ablation: Eq. 1 decay base p"))
+    assert all(r["hit_ratio_%"] > 0 for r in rows)
+
+
+def test_ablation_segment_size(figure):
+    rows = figure(ablate_segment_size)
+    print()
+    print(format_table(rows, title="Ablation: segment size"))
+    # too-fine granularity costs hits (per-move latency dominates)
+    finest = rows[0]["hit_ratio_%"]
+    best = max(r["hit_ratio_%"] for r in rows)
+    assert best > finest
+
+
+def test_ablation_lookahead_depth(figure):
+    rows = figure(ablate_lookahead)
+    print()
+    print(format_table(rows, title="Ablation: lookahead depth"))
+    r = {row["lookahead_depth"]: row for row in rows}
+    # sequencing lookahead is load-bearing: depth 16 beats depth 0
+    assert r[16]["hit_ratio_%"] > r[0]["hit_ratio_%"]
+
+
+def test_ablation_dhm_vs_broadcast(figure):
+    rows = figure(ablate_dhm)
+    print()
+    print(format_table(rows, title="Ablation: DHM vs broadcast"))
+    # the paper's claim: broadcasting updates is prohibitively expensive
+    assert all(r["slowdown_x"] > 10 for r in rows)
+
+
+def test_ablation_engine_trigger(figure):
+    rows = figure(ablate_reactiveness_trigger)
+    print()
+    print(format_table(rows, title="Ablation: engine trigger policy"))
+    r = {row["trigger"]: row for row in rows}
+    # the combined trigger never loses to interval-only
+    assert r["combined (paper)"]["hit_ratio_%"] >= r["interval-only (0.25s)"]["hit_ratio_%"]
+
+
+def test_ablation_scoring_model(figure):
+    rows = figure(ablate_scoring_model)
+    print()
+    print(format_table(rows, title="Ablation: scoring model"))
+    r = {row["scoring_model"]: row for row in rows}
+    # the paper's Eq. 1 holds its own against the learned models
+    assert r["eq1"]["hit_ratio_%"] >= r["ewma"]["hit_ratio_%"] - 5
+
+
+def test_ablation_pfs_striping(figure):
+    rows = figure(ablate_pfs_striping)
+    print()
+    print(format_table(rows, title="Ablation: PFS model"))
+    hf = {r["pfs_model"]: r for r in rows if r["solution"] == "HFetch"}
+    # the evaluation's shape is robust to the PFS model choice
+    assert abs(hf["striped"]["hit_ratio_%"] - hf["aggregate"]["hit_ratio_%"]) < 15

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 3(a) — event consumption rate vs client cores.
+
+Expected shape: all daemon::engine splits track the production rate at
+low core counts, then saturate proportionally to the daemon share —
+6::2 best (>200K events/s), then 4::4, then 2::6.
+"""
+
+from repro.experiments.fig3a import run_fig3a
+from repro.metrics.report import format_table
+
+
+def test_fig3a_server_to_client_ratio(figure):
+    rows = figure(run_fig3a, events_per_client=1000)
+    print()
+    print(format_table(rows, title="Fig 3(a): event consumption rate"))
+    by_config = {}
+    for row in rows:
+        by_config.setdefault(row["config"], []).append(row["events_per_sec"])
+    peak = {cfg: max(v) for cfg, v in by_config.items()}
+    # more daemons => higher saturated consumption rate
+    assert peak["6::2"] > peak["4::4"] > peak["2::6"]
+    # the paper reports >200K events/s for 6 daemons
+    assert peak["6::2"] > 200_000

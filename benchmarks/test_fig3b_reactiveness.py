@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 3(b) — placement-engine reactiveness.
+
+Expected shape: the compute-intensive workload (w3) achieves the best
+hit ratios across every engine configuration (the compute windows give
+the prefetcher time to complete data loading); low sensitivity loses
+hits everywhere.
+"""
+
+from repro.experiments.fig3b import run_fig3b
+from repro.metrics.report import format_table
+
+
+def test_fig3b_engine_reactiveness(figure):
+    rows = figure(run_fig3b, processes=64, bursts=4)
+    print()
+    print(format_table(rows, title="Fig 3(b): engine reactiveness"))
+    cell = {(r["sensitivity"], r["workload"]): r for r in rows}
+    # w3 (compute-intensive) beats w1 (data-intensive) for every setting
+    for level in ("high", "medium", "low"):
+        assert cell[(level, "w3")]["hit_ratio_%"] > cell[(level, "w1")]["hit_ratio_%"]
+    # low sensitivity has the worst hit ratio of the three for w1 and w3
+    for w in ("w1", "w3"):
+        low = cell[("low", w)]["hit_ratio_%"]
+        assert low <= cell[("medium", w)]["hit_ratio_%"]
+        assert low <= cell[("high", w)]["hit_ratio_%"]

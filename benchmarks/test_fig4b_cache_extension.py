@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 4(b) — extending the prefetch cache with tiers.
+
+Expected shape (paper): at the smallest scale everything fits in RAM; at
+the largest scale HFetch (RAM+NVMe+BB) beats the in-memory optimal by
+~35% and no-prefetching by ~50%, while the naive shared cache can be
+slower than no prefetching at all.
+"""
+
+from benchmarks.conftest import RANK_DIVISOR, REPEATS
+from repro.experiments.fig4b import run_fig4b
+from repro.metrics.report import format_table
+
+
+def test_fig4b_cache_extension(figure):
+    rows = figure(run_fig4b, rank_divisor=RANK_DIVISOR, repeats=REPEATS)
+    print()
+    print(format_table(rows, title="Fig 4(b): extending the prefetching cache"))
+    largest = max(r["paper_ranks"] for r in rows)
+    big = {r["solution"]: r for r in rows if r["paper_ranks"] == largest}
+    # at scale: HFetch reads faster than the RAM-only optimal and None
+    assert big["HFetch"]["read_time_s"] < big["In-Memory Optimal"]["read_time_s"]
+    assert big["HFetch"]["read_time_s"] < big["None"]["read_time_s"]
+    # the naive shared cache interferes: slower than no prefetching
+    assert big["In-Memory Naive"]["read_time_s"] > big["None"]["read_time_s"]
+    # HFetch's hit ratio survives the scale-up
+    assert big["HFetch"]["hit_ratio_%"] > big["In-Memory Optimal"]["hit_ratio_%"]

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 5 — application-centric vs data-centric.
+
+Expected shape (paper): HFetch faster on sequential/repetitive (the
+paper reports ~26% over the three structured patterns), with zero
+pollution evictions; the application-centric approach pays redundancy
+and pollution on the shared dataset.
+"""
+
+from benchmarks.conftest import RANK_DIVISOR, REPEATS
+from repro.experiments.fig5 import run_fig5
+from repro.metrics.report import format_table
+
+
+def test_fig5_app_vs_data_centric(figure):
+    rows = figure(run_fig5, rank_divisor=RANK_DIVISOR, repeats=REPEATS)
+    print()
+    print(format_table(rows, title="Fig 5: application-centric vs data-centric"))
+    r = {row["pattern"]: row for row in rows}
+    # data-centric wins on sequential and repetitive
+    for pattern in ("sequential", "repetitive"):
+        assert r[pattern]["speedup_%"] > 0
+    # zero evictions for the data-centric global view
+    assert all(row["datacentric_evictions"] == 0 for row in rows)
+    # app-centric suffers pollution somewhere
+    assert any(row["appcentric_evictions"] > 0 for row in rows)
+    # irregular hurts the data-centric hit ratio relative to sequential
+    assert r["irregular"]["data_hit_%"] <= r["sequential"]["data_hit_%"]

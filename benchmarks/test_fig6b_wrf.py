@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 6(b) — WRF strong scaling.
+
+Expected shape (paper): Stacker better end-to-end than KnowAc once the
+profiling cost is included; HFetch utilises all tiers and scales best.
+"""
+
+from benchmarks.conftest import RANK_DIVISOR, REPEATS
+from repro.experiments.fig6b import run_fig6b
+from repro.metrics.report import format_table
+
+
+def test_fig6b_wrf_strong_scaling(figure):
+    rows = figure(run_fig6b, rank_divisor=RANK_DIVISOR, repeats=REPEATS)
+    print()
+    print(format_table(rows, title="Fig 6(b): WRF (strong scaling)"))
+    scales = sorted({r["paper_ranks"] for r in rows})
+    for scale in scales:
+        r = {row["solution"]: row for row in rows if row["paper_ranks"] == scale}
+        # Stacker's end-to-end beats KnowAc's total (profile cost included)
+        assert r["Stacker"]["time_s"] < r["KnowAc"]["total_time_s"]
+        # HFetch's end-to-end is never worse than KnowAc's total
+        assert r["HFetch"]["time_s"] < r["KnowAc"]["total_time_s"]
+    # HFetch scales best: flattest end-to-end curve among prefetchers
+    def spread(solution):
+        ts = [row["time_s"] for row in rows if row["solution"] == solution]
+        return max(ts) - min(ts)
+    assert spread("HFetch") <= spread("KnowAc") + 1e-9

@@ -1,0 +1,103 @@
+"""Benchmarks of the simulation substrate itself.
+
+Unlike the figure benchmarks (which execute once and report tables),
+these measure the wall-clock performance of the DES kernel and the
+HFetch event pipeline with real statistical rounds — the numbers that
+determine how large an experiment the reproduction can simulate.
+"""
+
+from repro.core.auditor import FileSegmentAuditor
+from repro.core.config import HFetchConfig
+from repro.events.types import EventType, FileEvent
+from repro.sim.core import Environment
+from repro.sim.pipes import BandwidthPipe
+from repro.sim.resources import Resource
+from repro.storage.files import FileSystemModel
+
+MB = 1 << 20
+
+
+def run_timeout_chains(processes: int, hops: int) -> float:
+    env = Environment()
+
+    def body(env):
+        for _ in range(hops):
+            yield env.timeout(0.01)
+
+    for _ in range(processes):
+        env.process(body(env))
+    env.run()
+    return env.now
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw DES throughput: 20k timeout events."""
+    benchmark(run_timeout_chains, 200, 100)
+
+
+def test_contended_resource_throughput(benchmark):
+    """10k resource acquire/release cycles through one FCFS slot."""
+
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=4)
+
+        def body(env):
+            for _ in range(50):
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(0.001)
+
+        for _ in range(200):
+            env.process(body(env))
+        env.run()
+
+    benchmark(run)
+
+
+def test_pipe_transfer_throughput(benchmark):
+    """5k contended bandwidth-pipe transfers."""
+
+    def run():
+        env = Environment()
+        pipe = BandwidthPipe(env, latency=1e-4, bandwidth=1e9, channels=8)
+        for _ in range(5000):
+            env.process(pipe.transfer(1 * MB))
+        env.run()
+
+    benchmark(run)
+
+
+def test_auditor_event_fold_rate(benchmark):
+    """Folding 10k enriched read events into segment statistics."""
+    config = HFetchConfig()
+    fs = FileSystemModel(default_segment_size=MB)
+    fs.create("/bench", 1 << 30)
+    events = [
+        FileEvent(EventType.READ, "/bench", offset=(i % 1024) * MB, size=MB,
+                  timestamp=i * 1e-4, pid=i % 64)
+        for i in range(10_000)
+    ]
+
+    def run():
+        auditor = FileSegmentAuditor(config, fs)
+        for ev in events:
+            auditor.on_event(ev)
+        auditor.drain_dirty()
+
+    benchmark(run)
+
+
+def test_batch_scoring_rate(benchmark):
+    """Vectorised Eq. 1 over 10k segments with 8-deep histories."""
+    import numpy as np
+
+    from repro.core.scoring import batch_scores
+
+    n = 10_000
+    rng = np.random.default_rng(7)
+    ages = rng.uniform(0, 100, size=n * 8)
+    refs = rng.integers(1, 20, size=n * 8)
+    rows = np.repeat(np.arange(n), 8)
+
+    benchmark(batch_scores, ages, refs, rows, n, 2.0)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Tuning the placement engine: reactiveness and thread splits.
+
+Reproduces the paper's two server-tuning discussions interactively:
+
+1. engine reactiveness (Fig. 3(b)): how aggressively the placement
+   engine responds to score changes, against workloads with different
+   compute/I-O ratios;
+2. the daemon::engine thread split (Fig. 3(a)): how the event-queue
+   consumption rate saturates with the number of daemon threads.
+
+Run:  python examples/engine_tuning.py
+"""
+
+from repro import HFetchConfig, HFetchPrefetcher, WorkflowRunner, format_table
+from repro.experiments.common import build_cluster, tier_spec
+from repro.experiments.fig3a import consumption_rate
+from repro.workloads.synthetic import burst_workload
+
+MB = 1 << 20
+
+
+def reactiveness_sweep() -> None:
+    burst = 256 * MB
+    tiers = tier_spec(ram=burst // 4, nvme=burst // 2, bb=burst)
+    rows = []
+    for wname, compute in (("data-intensive", 0.05), ("balanced", 0.25), ("compute-intensive", 0.8)):
+        for level in ("high", "medium", "low"):
+            workload = burst_workload(
+                processes=32, bursts=4, burst_bytes_total=burst,
+                compute_time=compute, name=wname,
+            )
+            config = HFetchConfig(engine_interval=10.0).with_reactiveness(level)
+            cluster = build_cluster(32, tiers)
+            result = WorkflowRunner(cluster, workload, HFetchPrefetcher(config)).run()
+            rows.append(
+                {
+                    "workload": wname,
+                    "reactiveness": level,
+                    "time_s": round(result.end_to_end_time, 3),
+                    "hit_ratio_%": round(100 * result.hit_ratio, 1),
+                }
+            )
+    print(format_table(rows, title="Engine reactiveness (Fig. 3(b) style)"))
+    print()
+
+
+def thread_split_sweep() -> None:
+    rows = []
+    for daemons, engines in ((2, 6), (4, 4), (6, 2)):
+        rate = consumption_rate(daemons, engines, cores=64, events_per_client=500)
+        rows.append(
+            {
+                "daemon::engine": f"{daemons}::{engines}",
+                "events_per_sec": round(rate),
+            }
+        )
+    print(format_table(rows, title="Daemon::engine split at 64 client cores (Fig. 3(a) style)"))
+    print("\nRule of thumb from the paper: one HFetch server per ~32 "
+          "client cores, with the daemon-heavy 6::2 split.")
+
+
+def main() -> None:
+    reactiveness_sweep()
+    thread_split_sweep()
+
+
+if __name__ == "__main__":
+    main()

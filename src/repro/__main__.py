@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro list                  # show available experiments
+    python -m repro fig4a                 # regenerate one figure
+    python -m repro fig4b --divisor 16    # at a different scale
+    python -m repro all --repeats 1       # everything (takes a while)
+    python -m repro ablations             # the design-choice ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = {
+    "fig3a": ("Fig. 3(a): event consumption vs client cores", "repro.experiments.fig3a", "run_fig3a", False),
+    "fig3b": ("Fig. 3(b): engine reactiveness", "repro.experiments.fig3b", "run_fig3b", False),
+    "fig4a": ("Fig. 4(a): RAM footprint reduction", "repro.experiments.fig4a", "run_fig4a", True),
+    "fig4b": ("Fig. 4(b): extending the prefetch cache", "repro.experiments.fig4b", "run_fig4b", True),
+    "fig5": ("Fig. 5: app-centric vs data-centric", "repro.experiments.fig5", "run_fig5", True),
+    "fig6a": ("Fig. 6(a): Montage weak scaling", "repro.experiments.fig6a", "run_fig6a", True),
+    "fig6b": ("Fig. 6(b): WRF strong scaling", "repro.experiments.fig6b", "run_fig6b", True),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the HFetch paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "ablations", "all", "list"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--divisor", type=int, default=8,
+        help="divide the paper's rank counts/volumes by this (default 8; 1 = full scale)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="repeats per cell (paper: 5)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (title, *_rest) in EXPERIMENTS.items():
+            print(f"  {name:7s} {title}")
+        print("  ablations  design-choice ablations (DESIGN.md §4)")
+        print("  all        every figure + ablations")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "ablations" or args.experiment == "all":
+        import repro.experiments.ablations as abl
+
+        abl.ablate_decay_base(verbose=True)
+        abl.ablate_scoring_model(verbose=True)
+        abl.ablate_segment_size(verbose=True)
+        abl.ablate_lookahead(verbose=True)
+        abl.ablate_dhm(verbose=True)
+        abl.ablate_pfs_striping(verbose=True)
+        abl.ablate_reactiveness_trigger(verbose=True)
+        if args.experiment == "ablations":
+            return 0
+
+    import importlib
+
+    for name in targets:
+        title, module_name, fn_name, scalable = EXPERIMENTS[name]
+        print(f"\n=== {title} ===")
+        module = importlib.import_module(module_name)
+        fn = getattr(module, fn_name)
+        kwargs = {"verbose": True}
+        if scalable:
+            kwargs["rank_divisor"] = args.divisor
+            kwargs["repeats"] = args.repeats
+        fn(**kwargs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""The File Segment Auditor (paper §III-A.2).
+
+Calculates file-segment statistics from the event stream: access
+frequency, recency, and sequencing.  All records live in the distributed
+hash map so the view is global across nodes without a synchronisation
+barrier; score-relevant updates are accumulated in a *dirty vector* that
+the placement engine drains on each trigger ("All updated scores are
+pushed by the auditor into a vector which the engine processes",
+§III-D).
+
+The auditor is also HFetch's internal metadata manager: it owns the
+segment→tier mappings (where in the hierarchy each segment currently is)
+and the per-file prefetching-epoch accounting (a file is targeted for
+prefetching only while open for reading, §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.core.config import HFetchConfig
+from repro.core.heatmap import FileHeatmap, HeatmapStore
+from repro.core.scoring_models import ScoringModel, get_scoring_model
+from repro.core.stats import SegmentStats
+from repro.dhm.hashmap import DistributedHashMap
+from repro.events.types import EventType, FileEvent
+from repro.storage.files import FileSystemModel
+from repro.storage.segments import SegmentKey
+
+__all__ = ["FileSegmentAuditor"]
+
+
+class FileSegmentAuditor:
+    """Segment statistics, mappings and epochs, backed by the DHM."""
+
+    def __init__(
+        self,
+        config: HFetchConfig,
+        fs: FileSystemModel,
+        stats_map: Optional[DistributedHashMap] = None,
+        heatmaps: Optional[HeatmapStore] = None,
+    ):
+        self.config = config
+        self.fs = fs
+        self.stats_map = stats_map if stats_map is not None else DistributedHashMap(shards=1)
+        self.heatmaps = heatmaps if heatmaps is not None else HeatmapStore()
+        #: swappable scoring strategy (Eq. 1 by default)
+        self.scoring_model: ScoringModel = get_scoring_model(config.scoring_model)
+        # epoch refcounts: file_id -> number of concurrent read-openers
+        self._epochs: dict[str, int] = {}
+        self._epoch_serial: dict[str, int] = {}
+        # sequencing: last segment accessed per (file, accessor stream).
+        # The *scores* are global (data-centric), but predecessor links
+        # must follow each process's own stream — interleaving thousands
+        # of ranks into one chain would corrupt the logical map of
+        # connected segments the engine walks for lookahead.
+        self._last_segment: dict[tuple[str, int], SegmentKey] = {}
+        # dirty vector (ordered de-dup) for the placement engine
+        self._dirty: dict[SegmentKey, None] = {}
+        # segment home node: node of the first accessor
+        self._home_node: dict[SegmentKey, int] = {}
+        # last content version seen per file (the stat-on-open check)
+        self._seen_version: dict[str, int] = {}
+        # listeners notified on every score update (engine count trigger)
+        self._update_listeners: list[Callable[[int], None]] = []
+        # invalidation hook installed by the server (hierarchy eviction)
+        self.invalidate_hook: Optional[Callable[[str], None]] = None
+        # instrumentation
+        self.events_processed = 0
+        self.score_updates = 0
+        self.invalidations = 0
+        self.dirty_dropped = 0
+
+    # -- wiring ----------------------------------------------------------------
+    def add_update_listener(self, fn: Callable[[int], None]) -> None:
+        """Register a callback invoked with the running update count."""
+        self._update_listeners.append(fn)
+
+    # -- epochs (fopen..fclose windows, §III-B) -----------------------------------
+    def start_epoch(self, file_id: str) -> bool:
+        """Begin (or join) a prefetching epoch; True when newly started."""
+        first = self._epochs.get(file_id, 0) == 0
+        self._epochs[file_id] = self._epochs.get(file_id, 0) + 1
+        if first:
+            self._epoch_serial[file_id] = self._epoch_serial.get(file_id, 0) + 1
+            # stat-on-open: a write that happened while the file was
+            # unwatched (no epoch, so no inotify events) must still
+            # invalidate any stale prefetched copies
+            if self.fs.exists(file_id):
+                version = self.fs.get(file_id).version
+                if self._seen_version.get(file_id, version) != version:
+                    self._invalidate(file_id)
+                self._seen_version[file_id] = version
+            if self.config.persist_heatmaps:
+                stored = self.heatmaps.load(file_id)
+                if stored is not None:
+                    self._seed_from_heatmap(file_id, stored)
+        return first
+
+    def end_epoch(self, file_id: str, now: float = 0.0) -> bool:
+        """Leave an epoch; True when the last opener closed the file."""
+        count = self._epochs.get(file_id, 0)
+        if count <= 1:
+            self._epochs.pop(file_id, None)
+            for stream in [s for s in self._last_segment if s[0] == file_id]:
+                del self._last_segment[stream]
+            if self.config.persist_heatmaps and self.fs.exists(file_id):
+                self.heatmaps.save(self.build_heatmap(file_id, now))
+            return True
+        self._epochs[file_id] = count - 1
+        return False
+
+    def in_epoch(self, file_id: str) -> bool:
+        """Whether the file is currently targeted for prefetching."""
+        return self._epochs.get(file_id, 0) > 0
+
+    @property
+    def active_epochs(self) -> int:
+        """Number of files currently in an open epoch."""
+        return len(self._epochs)
+
+    def _seed_from_heatmap(self, file_id: str, heatmap: FileHeatmap) -> None:
+        """Warm the dirty vector from a stored heatmap on re-open.
+
+        This is what lets HFetch start prefetching a re-opened file
+        immediately, "in contrast to history-based prefetchers" that need
+        a profiling run (§III-B): segments that were hot last epoch are
+        handed to the engine as placement candidates right away.
+        """
+        f = self.fs.get(file_id)
+        for index in heatmap.hottest(k=min(heatmap.num_segments, 1024)):
+            if heatmap.temperature(index) <= 0:
+                break
+            if index < f.num_segments:
+                self._dirty[SegmentKey(file_id, index)] = None
+
+    # -- event consumption (called by the hardware monitor's daemons) ---------------
+    def on_event(self, event: FileEvent) -> None:
+        """Fold one enriched file event into the statistics."""
+        self.events_processed += 1
+        if event.etype is EventType.READ:
+            self._on_read(event)
+        elif event.etype is EventType.WRITE:
+            self._on_write(event)
+        # OPEN/CLOSE epochs are driven by the agent manager, which sees
+        # the open flags; the raw events carry no extra information here.
+
+    def _on_read(self, event: FileEvent) -> None:
+        if not self.fs.exists(event.file_id):
+            return
+        f = self.fs.get(event.file_id)
+        keys = f.read_segments(event.offset, event.size)
+        stream = (event.file_id, event.pid)
+        prev = self._last_segment.get(stream)
+        for key in keys:
+            nbytes = f.segment_bytes(key)
+            self._record_access(key, nbytes, event.timestamp, prev, event.node)
+            prev = key
+        if keys:
+            self._last_segment[stream] = keys[-1]
+
+    def _record_access(
+        self,
+        key: SegmentKey,
+        nbytes: int,
+        when: float,
+        prev: Optional[SegmentKey],
+        node: int,
+    ) -> None:
+        def _update(stats: Optional[SegmentStats]) -> SegmentStats:
+            if stats is None:
+                stats = SegmentStats(key=key, nbytes=nbytes, max_history=self.config.max_history)
+            stats.record(when, prev)
+            return stats
+
+        self.stats_map.update(key, _update, from_shard=node % self.stats_map.shards)
+        if prev is not None and prev != key:
+            def _link(stats: Optional[SegmentStats]) -> Optional[SegmentStats]:
+                if stats is not None:
+                    stats.link_successor(key)
+                return stats
+
+            prev_stats = self.stats_map.get(prev)
+            if prev_stats is not None:
+                self.stats_map.update(prev, _link)
+        self._home_node.setdefault(key, node)
+        if key in self._dirty or len(self._dirty) < self.config.dirty_vector_capacity:
+            self._dirty[key] = None
+        else:
+            # bounded vector: the placement hint is dropped (the stats in
+            # the hash map survive and a later access can re-surface it)
+            self.dirty_dropped += 1
+        self.score_updates += 1
+        for listener in self._update_listeners:
+            listener(self.score_updates)
+
+    def _on_write(self, event: FileEvent) -> None:
+        """Update events invalidate previously prefetched data (§III-B)."""
+        if self.fs.exists(event.file_id):
+            self._seen_version[event.file_id] = self.fs.get(event.file_id).version
+        self._invalidate(event.file_id)
+
+    def _invalidate(self, file_id: str) -> None:
+        self.invalidations += 1
+        # Drop statistics of the written file — its content changed.
+        for key in list(self.stats_map.keys()):
+            if isinstance(key, SegmentKey) and key.file_id == file_id:
+                self.stats_map.delete(key)
+        for stream in [s for s in self._last_segment if s[0] == file_id]:
+            del self._last_segment[stream]
+        self._dirty = {k: None for k in self._dirty if k.file_id != file_id}
+        if self.invalidate_hook is not None:
+            self.invalidate_hook(file_id)
+
+    # -- queries --------------------------------------------------------------------
+    def stats_of(self, key: SegmentKey) -> Optional[SegmentStats]:
+        """Raw statistics record of a segment, if any."""
+        return self.stats_map.get(key)
+
+    def home_node(self, key: SegmentKey) -> int:
+        """Node of the segment's first accessor (locality hint)."""
+        return self._home_node.get(key, 0)
+
+    def score_of(self, key: SegmentKey, now: float) -> float:
+        """Current score of one segment under the configured model."""
+        stats = self.stats_map.get(key)
+        if stats is None:
+            return 0.0
+        return self.scoring_model.score(stats, now, self.config.decay_base)
+
+    def drain_dirty(self) -> list[SegmentKey]:
+        """Hand the accumulated dirty vector to the engine (clears it)."""
+        dirty = list(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    @property
+    def pending_updates(self) -> int:
+        """Dirty segments awaiting an engine pass."""
+        return len(self._dirty)
+
+    def batch_score(self, keys: Iterable[SegmentKey], now: float) -> np.ndarray:
+        """Vectorised scores for ``keys`` under the configured model."""
+        stats_list = [self.stats_map.get(key) for key in keys]
+        return self.scoring_model.batch(stats_list, now, self.config.decay_base)
+
+    def build_heatmap(self, file_id: str, now: float) -> FileHeatmap:
+        """Materialise the file's current heatmap (§III-C)."""
+        f = self.fs.get(file_id)
+        keys = [SegmentKey(file_id, i) for i in range(f.num_segments)]
+        scores = self.batch_score(keys, now)
+        return FileHeatmap(file_id=file_id, scores=scores, captured_at=now)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FileSegmentAuditor events={self.events_processed} "
+            f"updates={self.score_updates} dirty={len(self._dirty)}>"
+        )

@@ -1,0 +1,165 @@
+"""Pluggable segment-scoring models.
+
+The paper's conclusion lists "enhance its scoring models with machine
+learning" as future work.  This module makes the scoring function a
+swappable strategy so alternatives can be evaluated against Eq. 1
+without touching the auditor or the engine:
+
+* :class:`DecayedFrequencyModel` — the paper's Eq. 1 (the default).
+* :class:`EWMARateModel` — an online-learned access-*rate* estimator:
+  an exponentially weighted moving average of inter-access gaps turns
+  into a predicted accesses-per-second, discounted by time since the
+  last access.  This is the simplest "learn the temporal pattern" model
+  and serves as the ML-flavoured comparison point.
+* :class:`HybridModel` — a convex blend of the two.
+
+Models are registered by name (``HFetchConfig.scoring_model``) so
+experiments can sweep them; ``benchmarks/test_ablations.py`` exercises
+the comparison.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.core.scoring import batch_scores, segment_score
+from repro.core.stats import SegmentStats
+
+__all__ = [
+    "ScoringModel",
+    "DecayedFrequencyModel",
+    "EWMARateModel",
+    "HybridModel",
+    "get_scoring_model",
+    "SCORING_MODELS",
+]
+
+
+class ScoringModel(ABC):
+    """Strategy interface: stats → urgency score (higher = hotter)."""
+
+    name = "base"
+
+    @abstractmethod
+    def score(self, stats: SegmentStats, now: float, p: float) -> float:
+        """Score one segment at time ``now`` (``p`` is the Eq. 1 base)."""
+
+    def batch(
+        self,
+        stats_list: Iterable[Optional[SegmentStats]],
+        now: float,
+        p: float,
+    ) -> np.ndarray:
+        """Vectorised scoring; the default loops over :meth:`score`."""
+        return np.array(
+            [0.0 if s is None or s.refs == 0 else self.score(s, now, p) for s in stats_list]
+        )
+
+
+class DecayedFrequencyModel(ScoringModel):
+    """The paper's Eq. 1 decayed-frequency score (default)."""
+
+    name = "eq1"
+
+    def score(self, stats: SegmentStats, now: float, p: float) -> float:
+        if stats.refs == 0:
+            return 0.0
+        return segment_score(stats.times, stats.refs, now, p)
+
+    def batch(self, stats_list, now, p):  # vectorised fast path
+        stats_list = list(stats_list)
+        ages: list[float] = []
+        refs: list[int] = []
+        rows: list[int] = []
+        for i, s in enumerate(stats_list):
+            if s is None or s.refs == 0:
+                continue
+            a, n = s.flat_rows(now)
+            ages.extend(a)
+            refs.extend([n] * len(a))
+            rows.extend([i] * len(a))
+        return batch_scores(
+            np.asarray(ages), np.asarray(refs), np.asarray(rows), len(stats_list), p=p
+        )
+
+
+class EWMARateModel(ScoringModel):
+    """Online access-rate estimate with recency discounting.
+
+    The EWMA of observed inter-access gaps estimates the segment's mean
+    period ``T``; the predicted rate ``1/T`` is the base urgency, decayed
+    by ``(1/p)^(gap_since_last / T)`` so a segment that has gone quiet
+    for several of its own periods cools off.  Learns per segment from
+    its own history — no offline pass, like the paper's online category.
+    """
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.4):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def _mean_period(self, times) -> Optional[float]:
+        it = iter(times)
+        try:
+            prev = next(it)
+        except StopIteration:
+            return None
+        ewma: Optional[float] = None
+        for t in it:
+            gap = max(1e-9, t - prev)
+            ewma = gap if ewma is None else (1 - self.alpha) * ewma + self.alpha * gap
+            prev = t
+        return ewma
+
+    def score(self, stats: SegmentStats, now: float, p: float) -> float:
+        if stats.refs == 0:
+            return 0.0
+        period = self._mean_period(stats.times)
+        if period is None:
+            # single observation: fall back to pure recency decay
+            return float((1.0 / p) ** max(0.0, now - stats.last_access))
+        silence = max(0.0, now - stats.last_access)
+        rate = 1.0 / period
+        return float(rate * (1.0 / p) ** (silence / period))
+
+
+class HybridModel(ScoringModel):
+    """Convex blend of Eq. 1 and the EWMA rate model."""
+
+    name = "hybrid"
+
+    def __init__(self, weight: float = 0.5, alpha: float = 0.4):
+        if not 0 <= weight <= 1:
+            raise ValueError("weight must be in [0, 1]")
+        self.weight = weight
+        self._eq1 = DecayedFrequencyModel()
+        self._ewma = EWMARateModel(alpha=alpha)
+
+    def score(self, stats: SegmentStats, now: float, p: float) -> float:
+        return (
+            self.weight * self._eq1.score(stats, now, p)
+            + (1 - self.weight) * self._ewma.score(stats, now, p)
+        )
+
+
+#: Registry used by ``HFetchConfig.scoring_model``.
+SCORING_MODELS: dict[str, Callable[[], ScoringModel]] = {
+    "eq1": DecayedFrequencyModel,
+    "ewma": EWMARateModel,
+    "hybrid": HybridModel,
+}
+
+
+def get_scoring_model(name: str) -> ScoringModel:
+    """Instantiate a registered scoring model by name."""
+    try:
+        return SCORING_MODELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scoring model {name!r}; available: {sorted(SCORING_MODELS)}"
+        ) from None

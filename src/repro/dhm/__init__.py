@@ -1,0 +1,24 @@
+"""Distributed hash map substrate (stand-in for HCL [43]).
+
+The paper stores segment statistics and segment→tier mappings in a
+distributed hash map ("Hermes Container Library") that provides uniform
+O(1) insertion/query, concurrent access, fault tolerance in case of
+power-downs, and low latency — and lets HFetch keep a global view of
+file accesses *without a global synchronisation barrier* (§III-A.2).
+
+The reproduction implements that contract:
+
+* :mod:`repro.dhm.partition` — consistent-hash key partitioning across
+  server shards.
+* :mod:`repro.dhm.hashmap` — :class:`DistributedHashMap`: sharded
+  storage, atomic read-modify-write, a per-operation latency model
+  (local vs remote shard) that the benches charge to callers.
+* :mod:`repro.dhm.wal` — write-ahead logging and recovery, backing the
+  fault-tolerance claim.
+"""
+
+from repro.dhm.hashmap import DistributedHashMap, OpCost
+from repro.dhm.partition import KeyPartitioner
+from repro.dhm.wal import WriteAheadLog
+
+__all__ = ["DistributedHashMap", "KeyPartitioner", "OpCost", "WriteAheadLog"]

@@ -1,0 +1,182 @@
+"""The distributed hash map (HCL stand-in).
+
+Provides the operations the paper's auditor depends on (§III-A.2):
+
+* O(1) ``get`` / ``put`` / ``delete``.
+* **Atomic read-modify-write** (:meth:`DistributedHashMap.update`) —
+  "based on the starting offset and the length of a read request, the
+  auditor will atomically update one or more targeted segments' score
+  in the map.  This update will be visible across all nodes."
+* A per-operation **cost model**: an access from node *n* to a key whose
+  shard lives on node *m* costs a local-shard or remote-shard latency.
+  The ablation bench (``abl_dhm``) uses this to reproduce the paper's
+  claim that removing the DHM (i.e. broadcasting every update across the
+  cluster) is prohibitively expensive.
+* Optional write-ahead logging for power-down fault tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+from repro.dhm.partition import KeyPartitioner
+from repro.dhm.wal import WriteAheadLog
+
+__all__ = ["OpCost", "DistributedHashMap"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Latency model of one map operation class (seconds)."""
+
+    local: float = 2e-7  # in-memory hash op on the local shard
+    remote: float = 5e-6  # one RDMA round to a remote shard
+
+    def of(self, is_local: bool) -> float:
+        """Cost of an op given shard locality."""
+        return self.local if is_local else self.remote
+
+
+class DistributedHashMap:
+    """Sharded key-value map with atomic updates and a cost model.
+
+    Parameters
+    ----------
+    shards:
+        Number of server shards (≈ number of HFetch server nodes).
+    cost:
+        Latency model; :meth:`charged` ops accumulate virtual seconds in
+        :attr:`total_cost` which callers may charge to the simulation.
+    wal:
+        Optional write-ahead log for durability.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        cost: OpCost = OpCost(),
+        wal: Optional[WriteAheadLog] = None,
+        virtual_nodes: int = 64,
+    ):
+        self.partitioner = KeyPartitioner(shards, virtual_nodes=virtual_nodes)
+        self.cost = cost
+        self.wal = wal
+        self._shards: list[dict[Hashable, Any]] = [dict() for _ in range(shards)]
+        # instrumentation
+        self.gets = 0
+        self.puts = 0
+        self.updates = 0
+        self.deletes = 0
+        self.remote_ops = 0
+        self.local_ops = 0
+        self.total_cost = 0.0
+
+    # -- shard plumbing ------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """Number of server shards."""
+        return len(self._shards)
+
+    def shard_of(self, key: Hashable) -> int:
+        """Shard id owning ``key``."""
+        return self.partitioner.shard_of(key)
+
+    def _charge(self, key: Hashable, from_shard: Optional[int]) -> dict:
+        shard_id = self.partitioner.shard_of(key)
+        is_local = from_shard is None or from_shard == shard_id
+        self.total_cost += self.cost.of(is_local)
+        if is_local:
+            self.local_ops += 1
+        else:
+            self.remote_ops += 1
+        return self._shards[shard_id]
+
+    # -- operations -------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None, from_shard: Optional[int] = None) -> Any:
+        """Read ``key`` (O(1)); ``from_shard`` selects the caller's node."""
+        self.gets += 1
+        return self._charge(key, from_shard).get(key, default)
+
+    def put(self, key: Hashable, value: Any, from_shard: Optional[int] = None) -> None:
+        """Write ``key`` (O(1))."""
+        self.puts += 1
+        self._charge(key, from_shard)[key] = value
+        if self.wal is not None:
+            self.wal.log_put(key, value)
+
+    def update(
+        self,
+        key: Hashable,
+        fn: Callable[[Any], Any],
+        default: Any = None,
+        from_shard: Optional[int] = None,
+    ) -> Any:
+        """Atomic read-modify-write: ``map[key] = fn(map.get(key, default))``.
+
+        The shard applies ``fn`` under its own lock (simulated as a single
+        indivisible step), so concurrent updaters never lose increments —
+        the property the auditor's score updates rely on.
+        """
+        self.updates += 1
+        shard = self._charge(key, from_shard)
+        new_value = fn(shard.get(key, default))
+        shard[key] = new_value
+        if self.wal is not None:
+            self.wal.log_put(key, new_value)
+        return new_value
+
+    def delete(self, key: Hashable, from_shard: Optional[int] = None) -> bool:
+        """Remove ``key``; True when it existed."""
+        self.deletes += 1
+        shard = self._charge(key, from_shard)
+        existed = key in shard
+        if existed:
+            del shard[key]
+            if self.wal is not None:
+                self.wal.log_delete(key)
+        return existed
+
+    def contains(self, key: Hashable, from_shard: Optional[int] = None) -> bool:
+        """Membership test (charged like a get)."""
+        self.gets += 1
+        return key in self._charge(key, from_shard)
+
+    # -- bulk / scan (uncharged admin operations) ----------------------------------
+    def keys(self) -> Iterable[Hashable]:
+        """All keys across shards (admin/diagnostic scan)."""
+        for shard in self._shards:
+            yield from shard.keys()
+
+    def items(self) -> Iterable[tuple[Hashable, Any]]:
+        """All items across shards (admin/diagnostic scan)."""
+        for shard in self._shards:
+            yield from shard.items()
+
+    def snapshot(self) -> dict:
+        """A flat copy of the whole map."""
+        out: dict = {}
+        for shard in self._shards:
+            out.update(shard)
+        return out
+
+    def checkpoint(self) -> None:
+        """Persist a snapshot through the WAL (no-op without one)."""
+        if self.wal is not None:
+            self.wal.checkpoint(self.snapshot())
+
+    def restore(self, state: dict) -> None:
+        """Load a recovered state, re-partitioning keys onto shards."""
+        for shard in self._shards:
+            shard.clear()
+        for key, value in state.items():
+            self._shards[self.partitioner.shard_of(key)][key] = value
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._shards[self.partitioner.shard_of(key)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DistributedHashMap shards={self.shards} size={len(self)}>"

@@ -1,0 +1,62 @@
+"""Consistent-hash partitioning of keys across hash-map shards.
+
+Keys are mapped onto a ring of virtual nodes so that adding or removing
+a shard relocates only ~1/N of the keys — the property that lets the
+distributed map grow with the cluster without a stop-the-world rehash.
+Hashing is stable across processes (no ``PYTHONHASHSEED`` dependence):
+we hash the ``repr`` of the key through ``zlib.crc32`` twice with
+different salts to get 64 bits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Hashable
+
+__all__ = ["KeyPartitioner"]
+
+
+def _stable_hash(data: str, salt: int = 0) -> int:
+    """A process-stable 64-bit hash of ``data``."""
+    raw = data.encode("utf-8")
+    hi = zlib.crc32(raw, salt & 0xFFFFFFFF)
+    lo = zlib.crc32(raw[::-1], (salt ^ 0x9E3779B9) & 0xFFFFFFFF)
+    return (hi << 32) | lo
+
+
+class KeyPartitioner:
+    """Consistent-hash ring mapping keys to shard ids."""
+
+    def __init__(self, shards: int, virtual_nodes: int = 64):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.shards = shards
+        self.virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for v in range(virtual_nodes):
+                point = _stable_hash(f"shard:{shard}:vnode:{v}")
+                self._ring.append((point, shard))
+        self._ring.sort()
+        self._points = [p for p, _ in self._ring]
+
+    def shard_of(self, key: Hashable) -> int:
+        """Shard id responsible for ``key``."""
+        h = _stable_hash(repr(key))
+        idx = bisect.bisect_right(self._points, h)
+        if idx == len(self._ring):
+            idx = 0
+        return self._ring[idx][1]
+
+    def distribution(self, keys) -> dict[int, int]:
+        """Histogram of shard assignments for a collection of keys."""
+        hist: dict[int, int] = {s: 0 for s in range(self.shards)}
+        for key in keys:
+            hist[self.shard_of(key)] += 1
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<KeyPartitioner shards={self.shards} vnodes={self.virtual_nodes}>"

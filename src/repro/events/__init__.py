@@ -1,0 +1,30 @@
+"""System-generated event substrate (the simulated enriched ``inotify``).
+
+HFetch's defining design choice (paper §III-B) is that prefetching is
+triggered by *file-system-generated events*, not by application calls.
+On the real system this is Linux ``inotify`` plus a lightweight
+interception library that enriches each event with the read offset,
+request size and a timestamp.  The reproduction provides:
+
+* :class:`~repro.events.types.FileEvent` — the enriched event record
+  (type, file, offset, size, timestamp, node).
+* :class:`~repro.events.queue.EventQueue` — the bounded in-memory queue
+  between producers (the file-system layer) and consumers (the HFetch
+  hardware-monitor daemons), with overflow accounting.
+* :class:`~repro.events.inotify.SimInotify` — watch registration with
+  the paper's refcount semantics (the first opener installs the watch,
+  the last closer removes it) and event fan-out to subscribed queues.
+"""
+
+from repro.events.inotify import SimInotify, Watch
+from repro.events.queue import EventQueue
+from repro.events.types import CapacityEvent, EventType, FileEvent
+
+__all__ = [
+    "CapacityEvent",
+    "EventQueue",
+    "EventType",
+    "FileEvent",
+    "SimInotify",
+    "Watch",
+]

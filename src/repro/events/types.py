@@ -1,0 +1,90 @@
+"""Event records produced by the simulated file-system layer.
+
+The original ``inotify`` event carries only the event type and file name;
+the paper's interception library additionally records the read offset,
+request size and a timestamp (§III-B).  :class:`FileEvent` is that
+enriched record.  :class:`CapacityEvent` models the second event family
+HFetch's hardware monitor consumes: tier remaining-capacity updates
+(§III-A.1: "events are either file accesses or tier remaining
+capacity").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+
+__all__ = ["EventType", "FileEvent", "CapacityEvent"]
+
+_event_ids = count()
+
+
+class EventType(enum.Enum):
+    """The file-operation vocabulary of the enriched inotify."""
+
+    OPEN = "open"
+    READ = "read"
+    WRITE = "write"
+    CLOSE = "close"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class FileEvent:
+    """One enriched file-system event.
+
+    Attributes
+    ----------
+    etype:
+        What happened (open/read/write/close).
+    file_id:
+        Which file the event refers to.
+    offset, size:
+        Location and length of the access (0 for open/close).
+    timestamp:
+        Virtual time the access was observed.
+    node:
+        Compute node that produced the event (for the distributed view).
+    pid:
+        Simulated process id of the accessor — carried for diagnostics
+        only; HFetch's data-centric logic deliberately ignores it.
+    eid:
+        Monotonic event id (global arrival order tie-breaker).
+    """
+
+    etype: EventType
+    file_id: str
+    offset: int = 0
+    size: int = 0
+    timestamp: float = 0.0
+    node: int = 0
+    pid: int = 0
+    eid: int = field(default_factory=lambda: next(_event_ids))
+
+    def is_access(self) -> bool:
+        """True for read/write events that carry offset+size payloads."""
+        return self.etype in (EventType.READ, EventType.WRITE)
+
+    def __str__(self) -> str:
+        if self.is_access():
+            return (
+                f"{self.etype}({self.file_id}, off={self.offset}, "
+                f"size={self.size}, t={self.timestamp:.6f})"
+            )
+        return f"{self.etype}({self.file_id}, t={self.timestamp:.6f})"
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityEvent:
+    """A tier remaining-capacity report consumed by the hardware monitor."""
+
+    tier_name: str
+    free_bytes: float
+    timestamp: float = 0.0
+    eid: int = field(default_factory=lambda: next(_event_ids))
+
+    def __str__(self) -> str:
+        return f"capacity({self.tier_name}, free={self.free_bytes:g}, t={self.timestamp:.6f})"

@@ -1,0 +1,34 @@
+"""Experiment harnesses — one module per paper figure, plus ablations.
+
+Every module exposes a ``run_*`` function returning structured rows
+(list of dicts) and prints the same series the paper's figure reports.
+The benchmarks under ``benchmarks/`` are thin pytest-benchmark wrappers
+over these functions; EXPERIMENTS.md records paper-vs-measured values.
+
+Scale: the paper's largest runs use 2560 MPI ranks and hundreds of GB.
+The discrete-event simulation reproduces the *shapes* at 1/8 of the rank
+count and volume by default (`RANK_DIVISOR`), which keeps a full figure
+under a couple of minutes of wall time; every row carries both the paper
+scale label and the simulated scale.  Pass ``rank_divisor=1`` to run the
+full published scale if you have the patience.
+"""
+
+from repro.experiments import common
+from repro.experiments.fig3a import run_fig3a
+from repro.experiments.fig3b import run_fig3b
+from repro.experiments.fig4a import run_fig4a
+from repro.experiments.fig4b import run_fig4b
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6a import run_fig6a
+from repro.experiments.fig6b import run_fig6b
+
+__all__ = [
+    "common",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5",
+    "run_fig6a",
+    "run_fig6b",
+]

@@ -1,0 +1,117 @@
+"""Shared experiment plumbing: scaling, repeats, cluster presets."""
+
+from __future__ import annotations
+
+from statistics import mean, pvariance
+from typing import Callable, Optional
+
+from repro.metrics.collector import RunResult
+from repro.prefetchers.base import Prefetcher
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster, TierSpec
+from repro.runtime.runner import WorkflowRunner
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "RANK_DIVISOR",
+    "PAPER_RANKS",
+    "GB",
+    "MB",
+    "tier_spec",
+    "build_cluster",
+    "repeat_run",
+    "averaged_row",
+]
+
+MB = 1 << 20
+GB = 1 << 30
+
+#: Default down-scaling of the paper's rank counts (2560 → 320) and byte
+#: volumes; keeps every figure reproducible in minutes on a laptop while
+#: preserving the contention ratios (capacities shrink with volumes).
+RANK_DIVISOR = 8
+
+#: The paper's scaling series (client ranks).
+PAPER_RANKS = (320, 640, 1280, 2560)
+
+
+def tier_spec(ram: float, nvme: float, bb: float) -> tuple[TierSpec, ...]:
+    """RAM/NVMe/BB tier capacities in bytes."""
+    return (
+        TierSpec(DRAM, ram),
+        TierSpec(NVME, nvme),
+        TierSpec(BURST_BUFFER, bb),
+    )
+
+
+def build_cluster(
+    ranks: int,
+    tiers: tuple[TierSpec, ...],
+    divisor: int = 1,
+) -> SimulatedCluster:
+    """A fresh cluster sized for ``ranks`` with the given cache layout.
+
+    The burst-buffer and PFS pools keep the testbed's full node counts
+    regardless of ``divisor``: the paper's PFS is latency-bound, not
+    bandwidth-saturated, and shrinking the server pool with the volume
+    would flip it into a saturated regime the testbed never operated in.
+    (``divisor`` is accepted for signature stability and future use.)
+    """
+    from repro.network.topology import ClusterTopology
+
+    base = ClusterTopology()
+    topo = ClusterTopology(
+        compute_nodes=max(1, -(-ranks // base.cores_per_node)),
+        cores_per_node=base.cores_per_node,
+        burst_buffer_nodes=base.burst_buffer_nodes,
+        storage_nodes=base.storage_nodes,
+    )
+    return SimulatedCluster(ClusterSpec(topology=topo, tiers=tiers))
+
+
+def repeat_run(
+    make_workload: Callable[[int], WorkloadSpec],
+    make_prefetcher: Callable[[], Prefetcher],
+    tiers: tuple[TierSpec, ...],
+    ranks: int,
+    repeats: int = 3,
+    base_seed: int = 2020,
+    divisor: int = 1,
+) -> list[RunResult]:
+    """Run (workload, prefetcher) ``repeats`` times with varied seeds.
+
+    The paper executes every test five times and reports mean and
+    variance; each repeat here re-seeds the workload generator and the
+    runner so stochastic elements (irregular patterns, tie-breaking)
+    differ across repeats while everything stays reproducible.
+    """
+    results = []
+    for i in range(repeats):
+        seed = base_seed + 101 * i
+        workload = make_workload(seed)
+        cluster = build_cluster(ranks, tiers, divisor=divisor)
+        runner = WorkflowRunner(cluster, workload, make_prefetcher(), seed=seed)
+        results.append(runner.run())
+    return results
+
+
+def averaged_row(results: list[RunResult], **extra) -> dict:
+    """Mean/variance row over repeated runs (plus caller context)."""
+    times = [r.end_to_end_time for r in results]
+    hits = [r.hit_ratio for r in results]
+    read_times = [r.read_time for r in results]
+    profile_costs = [r.extra.get("profile_cost", 0.0) for r in results]
+    row = {
+        "solution": results[0].solution,
+        "time_s": mean(times),
+        "time_var": pvariance(times) if len(times) > 1 else 0.0,
+        "read_time_s": mean(read_times),
+        "hit_ratio_%": 100.0 * mean(hits),
+        "profile_cost_s": mean(profile_costs),
+        "total_time_s": mean(times) + mean(profile_costs),
+        "ram_peak_MB": mean(r.ram_peak_bytes for r in results) / MB,
+        "evictions": mean(r.evictions for r in results),
+        "repeats": len(results),
+    }
+    row.update(extra)
+    return row

@@ -1,0 +1,82 @@
+"""Fig. 6(b): WRF end-to-end (strong scaling).
+
+"During this test, each process reads 8MB of data in 4 time steps for a
+total of 80GB across all scales (i.e., strong scale).  Input data are
+assumed to be initially present in the burst buffer nodes.  The system
+is configured with prefetching cache organized in 1.25 GB RAM space,
+2 GB in local NVMe drives and 80 GB burst buffer allocation."
+
+Expected shape: same ordering as Montage — KnowAc best raw read time
+plus profiling cost, Stacker better end-to-end than KnowAc(total),
+HFetch utilises all tiers and scales best.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HFetchConfig
+from repro.core.prefetcher import HFetchPrefetcher
+from repro.experiments.common import (
+    GB,
+    MB,
+    PAPER_RANKS,
+    RANK_DIVISOR,
+    averaged_row,
+    repeat_run,
+    tier_spec,
+)
+from repro.metrics.report import format_table
+from repro.prefetchers.knowac import KnowAcPrefetcher
+from repro.prefetchers.none import NoPrefetcher
+from repro.prefetchers.stacker import StackerPrefetcher
+from repro.workloads.wrf import wrf_workload
+
+__all__ = ["run_fig6b"]
+
+
+def run_fig6b(
+    rank_divisor: int = RANK_DIVISOR,
+    repeats: int = 2,
+    verbose: bool = False,
+) -> list[dict]:
+    """The Fig. 6(b) strong-scaling series (paper scale ÷ ``rank_divisor``)."""
+    ram = int(1.25 * GB) // rank_divisor
+    nvme = 2 * GB // rank_divisor
+    bb = 80 * GB // rank_divisor
+    tiers = tier_spec(ram=ram, nvme=nvme, bb=bb)
+    total_bytes = 80 * GB // rank_divisor  # fixed volume: strong scaling
+    config = HFetchConfig(engine_interval=0.25, segment_size=1 * MB, lookahead_depth=4)
+    solutions = (
+        ("Stacker", lambda: StackerPrefetcher(ram_budget=ram)),
+        ("KnowAc", lambda: KnowAcPrefetcher(ram_budget=ram)),
+        ("HFetch", lambda: HFetchPrefetcher(config)),
+        ("None", lambda: NoPrefetcher()),
+    )
+
+    rows = []
+    for paper_ranks in PAPER_RANKS:
+        ranks = paper_ranks // rank_divisor
+
+        def make_workload(seed: int, _r=ranks):
+            return wrf_workload(
+                processes=_r,  # every phase runs on the full rank set
+                total_bytes=total_bytes,
+                request_size=1 * MB,
+                segment_size=1 * MB,
+                compute_time=0.6,
+                seed=seed,
+            )
+
+        for label, make_pf in solutions:
+            results = repeat_run(
+                make_workload, make_pf, tiers, ranks, repeats=repeats, divisor=rank_divisor
+            )
+            rows.append(
+                averaged_row(results, paper_ranks=paper_ranks, sim_ranks=ranks)
+            )
+    if verbose:
+        print(format_table(rows, title="Fig 6(b): WRF (strong scaling)"))
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_fig6b(verbose=True)

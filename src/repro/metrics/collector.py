@@ -1,0 +1,170 @@
+"""Run metrics: hit ratios, times, movement volumes.
+
+Hit definition (used consistently across all prefetchers): a segment
+read is a **hit** when it is served from a tier *faster* than the file's
+origin tier (the tier that permanently holds its bytes — PFS by default,
+the burst buffers for staged-in workflows).  A read served from the
+origin itself, or from a slower path, is a miss.  This matches the
+paper's usage, where e.g. Fig. 6 reports hit ratios for data staged in
+the burst buffers and served from RAM/NVMe.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from statistics import mean, pvariance
+from typing import Iterable, Optional
+
+__all__ = ["MetricsCollector", "RunResult", "summarize_repeats"]
+
+
+@dataclass
+class RunResult:
+    """Summary of one workload execution under one prefetcher."""
+
+    solution: str
+    workload: str
+    end_to_end_time: float
+    read_time: float
+    hit_ratio: float
+    hits: int
+    misses: int
+    bytes_read: int
+    bytes_prefetched: int
+    tier_hits: dict = field(default_factory=dict)
+    ram_peak_bytes: float = 0.0
+    evictions: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def miss_ratio(self) -> float:
+        """1 − hit ratio."""
+        return 1.0 - self.hit_ratio
+
+    def row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "solution": self.solution,
+            "workload": self.workload,
+            "time_s": round(self.end_to_end_time, 4),
+            "read_time_s": round(self.read_time, 4),
+            "hit_ratio_%": round(100.0 * self.hit_ratio, 2),
+            "ram_peak_MB": round(self.ram_peak_bytes / (1 << 20), 1),
+            "evictions": self.evictions,
+        }
+
+
+class MetricsCollector:
+    """Accumulates per-read observations during a run."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_time = 0.0
+        self.tier_hits: dict[str, int] = defaultdict(int)
+        self.per_process_time: dict[int, float] = defaultdict(float)
+        self.per_process_reads: dict[int, int] = defaultdict(int)
+        self.per_app_hits: dict[str, int] = defaultdict(int)
+        self.per_app_misses: dict[str, int] = defaultdict(int)
+        self.first_read_at: Optional[float] = None
+        self.last_read_at: Optional[float] = None
+
+    # -- recording -------------------------------------------------------------
+    def record_read(
+        self,
+        pid: int,
+        tier_name: str,
+        nbytes: int,
+        duration: float,
+        hit: bool,
+        when: float,
+        app: str = "app",
+    ) -> None:
+        """One segment read observation."""
+        if hit:
+            self.hits += 1
+            self.per_app_hits[app] += 1
+        else:
+            self.misses += 1
+            self.per_app_misses[app] += 1
+        self.tier_hits[tier_name] += 1
+        self.bytes_read += nbytes
+        self.read_time += duration
+        self.per_process_time[pid] += duration
+        self.per_process_reads[pid] += 1
+        if self.first_read_at is None:
+            self.first_read_at = when
+        self.last_read_at = when
+
+    # -- summaries --------------------------------------------------------------
+    @property
+    def total_reads(self) -> int:
+        """Segment reads observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over total reads (0 when nothing read)."""
+        total = self.total_reads
+        return self.hits / total if total else 0.0
+
+    def app_hit_ratio(self, app: str) -> float:
+        """Hit ratio restricted to one application group."""
+        total = self.per_app_hits[app] + self.per_app_misses[app]
+        return self.per_app_hits[app] / total if total else 0.0
+
+    def finalize(
+        self,
+        solution: str,
+        workload: str,
+        end_to_end_time: float,
+        bytes_prefetched: int = 0,
+        ram_peak_bytes: float = 0.0,
+        evictions: int = 0,
+        extra: Optional[dict] = None,
+    ) -> RunResult:
+        """Freeze the run into a :class:`RunResult`."""
+        return RunResult(
+            solution=solution,
+            workload=workload,
+            end_to_end_time=end_to_end_time,
+            read_time=self.read_time,
+            hit_ratio=self.hit_ratio,
+            hits=self.hits,
+            misses=self.misses,
+            bytes_read=self.bytes_read,
+            bytes_prefetched=bytes_prefetched,
+            tier_hits=dict(self.tier_hits),
+            ram_peak_bytes=ram_peak_bytes,
+            evictions=evictions,
+            extra=dict(extra or {}),
+        )
+
+
+def summarize_repeats(results: Iterable[RunResult]) -> dict:
+    """Mean and variance across repeated runs (the paper reports both).
+
+    All results must describe the same (solution, workload) pair.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("no results to summarise")
+    solutions = {r.solution for r in results}
+    workloads = {r.workload for r in results}
+    if len(solutions) != 1 or len(workloads) != 1:
+        raise ValueError("summarise repeats of a single (solution, workload) pair")
+    times = [r.end_to_end_time for r in results]
+    hit_ratios = [r.hit_ratio for r in results]
+    return {
+        "solution": results[0].solution,
+        "workload": results[0].workload,
+        "repeats": len(results),
+        "time_mean_s": mean(times),
+        "time_var": pvariance(times) if len(times) > 1 else 0.0,
+        "hit_ratio_mean": mean(hit_ratios),
+        "hit_ratio_var": pvariance(hit_ratios) if len(hit_ratios) > 1 else 0.0,
+    }

@@ -1,0 +1,51 @@
+"""Fixed-width table rendering for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_run_results"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_run_results(results: Iterable, title: str | None = None) -> str:
+    """Render :class:`~repro.metrics.collector.RunResult` objects."""
+    rows = [r.row() for r in results]
+    return format_table(rows, title=title)

@@ -1,0 +1,44 @@
+"""Prefetching solutions: HFetch's comparators.
+
+Every baseline the paper evaluates against, all behind the common
+:class:`~repro.prefetchers.base.Prefetcher` interface:
+
+* :class:`~repro.prefetchers.none.NoPrefetcher` — reads from the origin
+  tier only (the paper's baseline).
+* :class:`~repro.prefetchers.serial.SerialPrefetcher` /
+  :class:`~repro.prefetchers.parallel.ParallelPrefetcher` — client-pull
+  read-ahead with one / N worker threads into RAM (Fig. 4(a)).
+* :class:`~repro.prefetchers.inmemory.InMemoryOptimalPrefetcher` /
+  :class:`~repro.prefetchers.inmemory.InMemoryNaivePrefetcher` —
+  DRAM-only prefetching caches, clairvoyant-per-process vs shared-LRU
+  competition (Fig. 4(b)).
+* :class:`~repro.prefetchers.appcentric.AppCentricPrefetcher` —
+  per-application pattern detection, client-pull (Fig. 5).
+* :class:`~repro.prefetchers.stacker.StackerPrefetcher` — online
+  learn-as-you-go staging engine (Stacker [26], Fig. 6).
+* :class:`~repro.prefetchers.knowac.KnowAcPrefetcher` — history-based
+  prefetching with an offline profiling cost (KnowAc [22], Fig. 6).
+
+HFetch itself lives in :class:`repro.core.prefetcher.HFetchPrefetcher`.
+"""
+
+from repro.prefetchers.appcentric import AppCentricPrefetcher
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.inmemory import InMemoryNaivePrefetcher, InMemoryOptimalPrefetcher
+from repro.prefetchers.knowac import KnowAcPrefetcher
+from repro.prefetchers.none import NoPrefetcher
+from repro.prefetchers.parallel import ParallelPrefetcher
+from repro.prefetchers.serial import SerialPrefetcher
+from repro.prefetchers.stacker import StackerPrefetcher
+
+__all__ = [
+    "AppCentricPrefetcher",
+    "InMemoryNaivePrefetcher",
+    "InMemoryOptimalPrefetcher",
+    "KnowAcPrefetcher",
+    "NoPrefetcher",
+    "ParallelPrefetcher",
+    "Prefetcher",
+    "SerialPrefetcher",
+    "StackerPrefetcher",
+]

@@ -1,0 +1,118 @@
+"""The common prefetcher interface.
+
+Every solution the paper evaluates — HFetch, the serial/parallel
+read-ahead prefetchers (Fig. 4(a)), the in-memory optimal/naive pair
+(Fig. 4(b)), the application-centric prefetcher (Fig. 5), Stacker and
+KnowAc (Fig. 6), and the no-prefetching baseline — implements this
+interface and is driven identically by the workload runner:
+
+1. ``on_open(pid, node, file_id)`` — the process opened a file for
+   reading.
+2. ``plan_read(pid, node, key)`` — *before* each segment read: where
+   will it be served from?  (This is the only place a solution can make
+   a read faster.)
+3. ``on_access(pid, node, file_id, offset, size)`` — *after* the read:
+   observe the access (client-pull solutions trigger their fetches here;
+   HFetch's events flow through inotify instead).
+4. ``on_close(pid, node, file_id)`` — the process closed the file.
+
+Prefetch I/O performed by a solution must go through the shared tiers
+and fabric of the :class:`~repro.runtime.context.RuntimeContext`, so
+prefetching traffic and application reads contend for the same simulated
+hardware — the interference the paper's figures hinge on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.runtime.context import ReadPlan, RuntimeContext
+from repro.storage.segments import SegmentKey
+
+__all__ = ["Prefetcher"]
+
+
+class Prefetcher(ABC):
+    """Base class of all evaluated solutions."""
+
+    #: Display name used in result tables.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[RuntimeContext] = None
+        self.bytes_prefetched = 0
+        self.prefetch_ops = 0
+        self.evictions = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def attach(self, ctx: RuntimeContext) -> None:
+        """Bind to the machine; background processes start here."""
+        self.ctx = ctx
+
+    def detach(self) -> None:
+        """Stop background processes (end of workflow)."""
+
+    def on_workload(self, workload) -> None:
+        """Receive the static workload description.
+
+        Online solutions ignore it.  Clairvoyant baselines (KnowAc, the
+        in-memory optimal prefetcher) treat it as their profiled /
+        oracle knowledge of the access streams.
+        """
+
+    # -- the four runner hooks ----------------------------------------------------
+    def on_open(self, pid: int, node: int, file_id: str) -> None:
+        """A process opened ``file_id`` for reading."""
+
+    @abstractmethod
+    def plan_read(self, pid: int, node: int, key: SegmentKey) -> ReadPlan:
+        """Serving plan for one segment read (called before the read)."""
+
+    def on_access(self, pid: int, node: int, file_id: str, offset: int, size: int) -> None:
+        """A read completed (called after the read is served)."""
+
+    def on_write(self, pid: int, node: int, file_id: str, offset: int, size: int) -> None:
+        """A write completed.  Consistency-aware solutions invalidate
+        any prefetched copy of the written range (HFetch, paper §III-B);
+        the default is a no-op."""
+
+    def on_close(self, pid: int, node: int, file_id: str) -> None:
+        """A process closed ``file_id``."""
+
+    # -- accounting -------------------------------------------------------------
+    @property
+    def ram_peak_bytes(self) -> float:
+        """Peak bytes this solution held in the RAM tier."""
+        if self.ctx is None:
+            return 0.0
+        try:
+            return float(self.ctx.hierarchy.by_name("RAM").peak_used)
+        except KeyError:
+            return 0.0
+
+    def profile_cost(self) -> float:
+        """Extra offline cost (seconds) charged outside the run.
+
+        Zero for online solutions; KnowAc's profiling run reports here
+        (the paper plots it as a stacked "Profile-Cost" bar).
+        """
+        return 0.0
+
+    # -- helpers shared by client-pull baselines -------------------------------------
+    def _fetch_into(self, key: SegmentKey, tier, src_tier) -> None:
+        """Background process: move one segment src → tier (charged I/O)."""
+        assert self.ctx is not None
+        ctx = self.ctx
+
+        def mover():
+            nbytes = ctx.segment_bytes(key)
+            yield from src_tier.read(nbytes)
+            yield from tier.write(nbytes, priority=tier.pipe.PREFETCH)
+            self.bytes_prefetched += nbytes
+            self.prefetch_ops += 1
+
+        ctx.env.process(mover(), name=f"prefetch-{self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"

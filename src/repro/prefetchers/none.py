@@ -1,0 +1,25 @@
+"""The no-prefetching baseline.
+
+Every read is served straight from the file's origin tier (the PFS, or
+the burst buffers for staged-in datasets) — "a No Prefetching solution
+based purely on reading from the parallel file system" (§IV).  This is
+the reference every figure normalises against.
+"""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import Prefetcher
+from repro.runtime.context import ReadPlan
+from repro.storage.segments import SegmentKey
+
+__all__ = ["NoPrefetcher"]
+
+
+class NoPrefetcher(Prefetcher):
+    """Reads go to the origin; nothing is ever moved."""
+
+    name = "None"
+
+    def plan_read(self, pid: int, node: int, key: SegmentKey) -> ReadPlan:
+        assert self.ctx is not None
+        return self.ctx.origin_plan(key.file_id)

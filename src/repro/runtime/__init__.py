@@ -1,0 +1,21 @@
+"""Workload execution runtime.
+
+:class:`~repro.runtime.cluster.SimulatedCluster` assembles the machine
+(topology, tiers, hierarchy, fabric) and
+:class:`~repro.runtime.runner.WorkflowRunner` drives a workload
+specification against it under any :class:`~repro.prefetchers.base.
+Prefetcher`, producing a :class:`~repro.metrics.collector.RunResult`.
+"""
+
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster
+from repro.runtime.context import ReadPlan, RuntimeContext
+from repro.runtime.runner import WorkflowRunner, run_workload
+
+__all__ = [
+    "ClusterSpec",
+    "ReadPlan",
+    "RuntimeContext",
+    "SimulatedCluster",
+    "WorkflowRunner",
+    "run_workload",
+]

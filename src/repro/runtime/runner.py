@@ -1,0 +1,211 @@
+"""The workload runner.
+
+Drives a :class:`~repro.workloads.spec.WorkloadSpec` against a
+:class:`~repro.runtime.cluster.SimulatedCluster` under any
+:class:`~repro.prefetchers.base.Prefetcher`:
+
+* one simulation process per rank — waits for its application's
+  dependencies, opens its files (``on_open``), then alternates compute
+  and I/O bursts;
+* each read is planned by the prefetcher (``plan_read``), served from
+  the planned tier's contended device (grouped per tier so a multi-
+  segment request issues one transfer per serving tier), then reported
+  back (``on_access``);
+* hits/misses, read times and the end-to-end makespan land in a
+  :class:`~repro.metrics.collector.RunResult`.
+
+The runner is prefetcher-agnostic: HFetch's entire server-push pipeline
+and the simplest no-prefetching baseline run under the identical loop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.runtime.cluster import SimulatedCluster
+
+if TYPE_CHECKING:  # avoid a circular import; Prefetcher is typing-only here
+    from repro.prefetchers.base import Prefetcher
+from repro.runtime.context import RuntimeContext
+from repro.sim.core import Environment, Event
+from repro.workloads.spec import ProcessSpec, ReadOp, WorkloadSpec
+
+__all__ = ["WorkflowRunner", "run_workload"]
+
+
+class WorkflowRunner:
+    """Executes one workload under one prefetching solution."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        workload: WorkloadSpec,
+        prefetcher: "Prefetcher",
+        seed: int = 2020,
+    ):
+        self.cluster = cluster
+        self.workload = workload
+        self.prefetcher = prefetcher
+        self.metrics = MetricsCollector()
+        self.ctx: RuntimeContext = cluster.context(metrics=self.metrics, seed=seed)
+        self._app_done: dict[str, Event] = {}
+        self._app_procs: dict[str, list] = defaultdict(list)
+
+    # -- public ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the workload to completion and summarise it."""
+        env = self.ctx.env
+        self.workload.materialize(self.ctx.fs)
+        self.prefetcher.attach(self.ctx)
+        self.prefetcher.on_workload(self.workload)
+
+        # application completion events for pipeline dependencies
+        for app in self.workload.apps:
+            self._app_done[app.name] = env.event()
+
+        start_time = env.now
+        procs = [
+            env.process(self._process_body(p), name=f"rank-{p.pid}")
+            for p in self.workload.processes
+        ]
+        for p, spec in zip(procs, self.workload.processes):
+            self._app_procs[spec.app].append(p)
+        for app in self.workload.apps:
+            env.process(self._app_watcher(app.name), name=f"app-{app.name}")
+
+        done = env.all_of(procs)
+        env.run(until=done)
+        end_time = env.now
+        self.prefetcher.detach()
+
+        ram_peak = self._ram_peak()
+        result = self.metrics.finalize(
+            solution=self.prefetcher.name,
+            workload=self.workload.name,
+            end_to_end_time=end_time - start_time,
+            bytes_prefetched=self.prefetcher.bytes_prefetched,
+            ram_peak_bytes=ram_peak,
+            evictions=self.ctx.hierarchy.evictions
+            + int(getattr(self.prefetcher, "cache_evictions", 0)),
+            extra={"profile_cost": self.prefetcher.profile_cost()},
+        )
+        return result
+
+    # -- per-rank body --------------------------------------------------------------
+    def _process_body(self, spec: ProcessSpec) -> Generator:
+        ctx = self.ctx
+        env = ctx.env
+        node = ctx.topology.node_of_rank(spec.pid)
+
+        # wait for upstream applications of the pipeline
+        app = self.workload.app(spec.app)
+        for dep in app.depends_on:
+            yield self._app_done[dep]
+        if spec.start_delay > 0:
+            yield env.timeout(spec.start_delay)
+
+        # fopen (read flags) on every file this rank uses
+        for file_id in spec.files_used:
+            self.prefetcher.on_open(spec.pid, node, file_id)
+
+        for step in spec.steps:
+            if step.compute_time > 0:
+                yield env.timeout(step.compute_time)
+            for op in step.writes:
+                yield from self._serve_write(spec, node, op)
+            for op in step.reads:
+                yield from self._serve_read(spec, node, op)
+
+        for file_id in spec.files_used:
+            self.prefetcher.on_close(spec.pid, node, file_id)
+
+    def _serve_write(self, spec: ProcessSpec, node: int, op: ReadOp) -> Generator:
+        """Write ``op`` to the file's origin tier and notify the prefetcher.
+
+        Writes go straight to the origin (this reproduction models the
+        read path; write buffering is out of scope, as it is for the
+        paper) and trigger the consistency invalidation of any
+        prefetched copies (§III-B).
+        """
+        ctx = self.ctx
+        origin = ctx.origin_tier(op.file_id)
+        yield from origin.write(op.size)
+        if ctx.fs.exists(op.file_id):
+            ctx.fs.touch_write(op.file_id)
+        self.metrics.bytes_written += op.size
+        self.prefetcher.on_write(spec.pid, node, op.file_id, op.offset, op.size)
+
+    def _app_watcher(self, app_name: str) -> Generator:
+        yield self.ctx.env.all_of(self._app_procs[app_name])
+        self._app_done[app_name].succeed(app_name)
+
+    # -- one read request --------------------------------------------------------------
+    def _serve_read(self, spec: ProcessSpec, node: int, op: ReadOp) -> Generator:
+        ctx = self.ctx
+        env = ctx.env
+        f = ctx.fs.get(op.file_id)
+        keys = f.read_segments(op.offset, op.size)
+        if not keys:
+            return
+
+        # plan every covered segment, group by serving tier
+        groups: dict = {}
+        metadata_cost = 0.0
+        per_segment = []
+        for key in keys:
+            plan = self.prefetcher.plan_read(spec.pid, node, key)
+            metadata_cost += plan.metadata_cost
+            nbytes = f.segment_bytes(key)
+            entry = groups.setdefault(id(plan.tier), [plan.tier, 0, False])
+            entry[1] += nbytes
+            entry[2] = entry[2] or plan.cross_node
+            per_segment.append((key, plan.tier, nbytes))
+
+        t0 = env.now
+        if metadata_cost > 0:
+            yield env.timeout(metadata_cost)
+        for tier, nbytes, cross in groups.values():
+            yield from tier.read(nbytes)
+            if cross:
+                yield from ctx.comm.bulk_transfer(0, 1, nbytes)
+        duration = env.now - t0
+
+        # per-segment accounting (duration attributed proportionally)
+        total = sum(n for _k, _t, n in per_segment) or 1
+        for key, tier, nbytes in per_segment:
+            self.metrics.record_read(
+                pid=spec.pid,
+                tier_name=tier.name,
+                nbytes=nbytes,
+                duration=duration * (nbytes / total),
+                hit=ctx.is_hit(f, tier),
+                when=env.now,
+                app=spec.app,
+            )
+        self.prefetcher.on_access(spec.pid, node, op.file_id, op.offset, op.size)
+
+    # -- helpers -----------------------------------------------------------------------
+    def _ram_peak(self) -> float:
+        # the hierarchy ledger covers HFetch; baselines account their own
+        # managed caches — report whichever view is larger
+        try:
+            ledger = float(self.ctx.hierarchy.by_name("RAM").peak_used)
+        except KeyError:
+            ledger = 0.0
+        return max(ledger, float(self.prefetcher.ram_peak_bytes))
+
+
+def run_workload(
+    workload: WorkloadSpec,
+    prefetcher: "Prefetcher",
+    cluster: Optional[SimulatedCluster] = None,
+    seed: int = 2020,
+) -> RunResult:
+    """One-shot convenience: build a cluster (if needed), run, summarise."""
+    if cluster is None:
+        from repro.runtime.cluster import ClusterSpec
+
+        cluster = SimulatedCluster(ClusterSpec().scaled_for(workload.num_processes))
+    return WorkflowRunner(cluster, workload, prefetcher, seed=seed).run()

@@ -1,0 +1,325 @@
+"""Contention primitives for the DES kernel.
+
+These model shared hardware and software resources:
+
+* :class:`Resource` — a counted FCFS resource (device channels, CPU
+  threads).  Requests queue in arrival order.
+* :class:`PriorityResource` — like :class:`Resource` but requests carry a
+  priority (lower value served first; FIFO within a priority).
+* :class:`Store` — an unbounded-or-bounded FIFO of items (the HFetch event
+  queue between the inotify producers and the hardware-monitor daemons).
+* :class:`Container` — a continuous level (capacity ledgers, credit pools).
+
+All primitives are fair and deterministic: waiters are served in the order
+they asked.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = [
+    "PreemptionError",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "Container",
+]
+
+
+class PreemptionError(Exception):
+    """Raised inside a request that lost its slot (reserved for future use)."""
+
+
+class _Request(Event):
+    """Event granted when the resource has a free slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    # Support ``with res.request() as req: yield req``
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted FCFS resource with ``capacity`` concurrent slots."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.users: list[_Request] = []
+        self.queue: deque[_Request] = deque()
+        # instrumentation
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._request_times: dict[int, float] = {}
+
+    # -- public API ------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self.queue)
+
+    def request(self) -> _Request:
+        """Ask for a slot; yields (fires) once granted."""
+        req = _Request(self)
+        self.total_requests += 1
+        self._request_times[id(req)] = self.env.now
+        if len(self.users) < self.capacity:
+            self._grant(req)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Return a slot (or cancel a queued request)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing a request that was never granted cancels it.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            self._request_times.pop(id(request), None)
+            return
+        self._dispatch()
+
+    # -- internals -------------------------------------------------------
+    def _grant(self, req: _Request) -> None:
+        self.users.append(req)
+        t0 = self._request_times.pop(id(req), self.env.now)
+        self.total_wait_time += self.env.now - t0
+        req.succeed(req)
+
+    def _dispatch(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            self._grant(self.queue.popleft())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Resource {self.count}/{self.capacity} used, {self.queued} queued>"
+
+
+class _PriorityRequest(_Request):
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "PriorityResource", priority: float, seq: int):
+        super().__init__(resource)
+        self.priority = priority
+        self.seq = seq
+
+    def __lt__(self, other: "_PriorityRequest") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list[_PriorityRequest] = []
+        self._seq = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)
+
+    def request(self, priority: float = 0.0) -> _PriorityRequest:  # type: ignore[override]
+        self._seq += 1
+        req = _PriorityRequest(self, priority, self._seq)
+        self.total_requests += 1
+        self._request_times[id(req)] = self.env.now
+        if len(self.users) < self.capacity:
+            self._grant(req)
+        else:
+            heapq.heappush(self._heap, req)
+        return req
+
+    def release(self, request: _Request) -> None:  # type: ignore[override]
+        try:
+            self.users.remove(request)
+        except ValueError:
+            try:
+                self._heap.remove(request)  # type: ignore[arg-type]
+                heapq.heapify(self._heap)
+            except ValueError:
+                pass
+            self._request_times.pop(id(request), None)
+            return
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            self._grant(heapq.heappop(self._heap))
+
+
+class _StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class _StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """A FIFO of items with optional bounded capacity.
+
+    ``put`` blocks when the store is full; ``get`` blocks when empty.
+    This is the HFetch server's in-memory event queue (paper §III-A.1):
+    inotify producers ``put`` file events, hardware-monitor daemons
+    ``get`` them.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._putters: deque[_StorePut] = deque()
+        self._getters: deque[_StoreGet] = deque()
+        # instrumentation
+        self.total_put = 0
+        self.total_got = 0
+        self.max_level = 0
+
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    def put(self, item: Any) -> _StorePut:
+        """Offer ``item``; the returned event fires once accepted."""
+        ev = _StorePut(self.env, item)
+        self._putters.append(ev)
+        self._balance()
+        return ev
+
+    def get(self) -> _StoreGet:
+        """Ask for the next item; the returned event fires with the item."""
+        ev = _StoreGet(self.env)
+        self._getters.append(ev)
+        self._balance()
+        return ev
+
+    def _balance(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Accept queued puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                self.total_put += 1
+                if len(self.items) > self.max_level:
+                    self.max_level = len(self.items)
+                put.succeed()
+                progress = True
+            # Satisfy queued gets while there are items.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                item = self.items.popleft()
+                self.total_got += 1
+                get.succeed(item)
+                progress = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Store level={self.level}/{self.capacity}>"
+
+
+class _ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, env: Environment, amount: float):
+        super().__init__(env)
+        self.amount = amount
+
+
+class _ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, env: Environment, amount: float):
+        super().__init__(env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous level between 0 and ``capacity``.
+
+    Used for byte-capacity ledgers where fractional amounts and blocking
+    semantics are both needed.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level out of range")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: deque[_ContainerPut] = deque()
+        self._getters: deque[_ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount held."""
+        return self._level
+
+    def put(self, amount: float) -> _ContainerPut:
+        """Add ``amount``; fires when it fits."""
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        ev = _ContainerPut(self.env, amount)
+        self._putters.append(ev)
+        self._balance()
+        return ev
+
+    def get(self, amount: float) -> _ContainerGet:
+        """Remove ``amount``; fires when available."""
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        ev = _ContainerGet(self.env, amount)
+        self._getters.append(ev)
+        self._balance()
+        return ev
+
+    def _balance(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and self._level + self._putters[0].amount <= self.capacity:
+                put = self._putters.popleft()
+                self._level += put.amount
+                put.succeed()
+                progress = True
+            if self._getters and self._level >= self._getters[0].amount:
+                get = self._getters.popleft()
+                self._level -= get.amount
+                get.succeed(get.amount)
+                progress = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Container level={self._level}/{self.capacity}>"

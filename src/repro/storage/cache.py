@@ -1,0 +1,317 @@
+"""Cache-replacement policies.
+
+The baseline prefetchers (and one of HFetch's intellectual ancestors)
+are built on classic replacement policies:
+
+* :class:`LRUCache` — least recently used (the in-memory *naive*
+  prefetcher of Fig. 4(b) and the OS read-cache the paper's baseline
+  models).
+* :class:`LFUCache` — least frequently used.
+* :class:`LRFUCache` — the LRFU spectrum of Lee et al. [51], which the
+  paper explicitly cites as partial motivation for HFetch's segment
+  scoring ("frequency and recency of a memory page can both influence
+  the eviction of the page", §V).
+* :class:`BeladyCache` — the clairvoyant optimal (MIN) policy, used to
+  implement the *in-memory optimal* baseline of Fig. 4(b).
+
+All policies count capacity in *entries* (segments) — the runner maps
+bytes to segment counts — and share one interface so baselines can be
+parameterised by policy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import OrderedDict, defaultdict, deque
+from typing import Hashable, Iterable, Optional
+
+__all__ = ["CachePolicy", "LRUCache", "LFUCache", "LRFUCache", "BeladyCache"]
+
+
+class CachePolicy(ABC):
+    """Common interface of all replacement policies."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @abstractmethod
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether ``key`` is cached."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of cached entries."""
+
+    @abstractmethod
+    def _touch(self, key: Hashable) -> None:
+        """Record a hit on a resident key."""
+
+    @abstractmethod
+    def _insert(self, key: Hashable) -> None:
+        """Add a non-resident key (capacity already ensured)."""
+
+    @abstractmethod
+    def _select_victim(self) -> Hashable:
+        """Choose the key to evict."""
+
+    @abstractmethod
+    def _remove(self, key: Hashable) -> None:
+        """Forget ``key`` (must be resident)."""
+
+    # -- template methods ---------------------------------------------------
+    def access(self, key: Hashable) -> tuple[bool, Optional[Hashable]]:
+        """Record an access; returns ``(hit, evicted_key_or_None)``."""
+        if key in self:
+            self.hits += 1
+            self._touch(key)
+            return True, None
+        self.misses += 1
+        victim = None
+        if len(self) >= self.capacity:
+            victim = self._select_victim()
+            self._remove(victim)
+            self.evictions += 1
+        self._insert(key)
+        return False, victim
+
+    def insert(self, key: Hashable) -> Optional[Hashable]:
+        """Force ``key`` resident (prefetch); returns any evicted key."""
+        if key in self:
+            return None
+        victim = None
+        if len(self) >= self.capacity:
+            victim = self._select_victim()
+            self._remove(victim)
+            self.evictions += 1
+        self._insert(key)
+        return victim
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` if resident; True when something was dropped."""
+        if key in self:
+            self._remove(key)
+            return True
+        return False
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits / (hits + misses); 0 when untouched."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(CachePolicy):
+    """Least-recently-used replacement."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def _touch(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def _insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def _select_victim(self) -> Hashable:
+        return next(iter(self._order))
+
+    def _remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def keys(self) -> list[Hashable]:
+        """Resident keys from coldest to hottest."""
+        return list(self._order)
+
+
+class LFUCache(CachePolicy):
+    """Least-frequently-used replacement (FIFO tie-break)."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._count: dict[Hashable, int] = {}
+        self._seq: dict[Hashable, int] = {}
+        self._clock = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._count
+
+    def __len__(self) -> int:
+        return len(self._count)
+
+    def _touch(self, key: Hashable) -> None:
+        self._count[key] += 1
+
+    def _insert(self, key: Hashable) -> None:
+        self._clock += 1
+        self._count[key] = 1
+        self._seq[key] = self._clock
+
+    def _select_victim(self) -> Hashable:
+        return min(self._count, key=lambda k: (self._count[k], self._seq[k]))
+
+    def _remove(self, key: Hashable) -> None:
+        del self._count[key]
+        del self._seq[key]
+
+    def frequency(self, key: Hashable) -> int:
+        """Access count of a resident key."""
+        return self._count[key]
+
+
+class LRFUCache(CachePolicy):
+    """Lee et al.'s LRFU spectrum (λ ∈ (0, 1]).
+
+    Each block carries a Combined Recency and Frequency (CRF) value::
+
+        C(b) = F(0) + C_last(b) * F(t - t_last(b)),   F(x) = (1/2)^(λx)
+
+    λ → 0 degenerates to LFU, λ = 1 degenerates to LRU.  The paper's
+    segment score (Eq. 1) is a close cousin of this quantity — which is
+    why the policy lives here and is exercised by the ablation benches.
+    """
+
+    def __init__(self, capacity: int, lam: float = 0.5):
+        super().__init__(capacity)
+        if not 0 < lam <= 1:
+            raise ValueError(f"lambda must be in (0, 1], got {lam}")
+        self.lam = lam
+        self._crf: dict[Hashable, float] = {}
+        self._last: dict[Hashable, int] = {}
+        self._clock = 0
+
+    def _weight(self, age: int) -> float:
+        return 0.5 ** (self.lam * age)
+
+    def _current_crf(self, key: Hashable) -> float:
+        return self._crf[key] * self._weight(self._clock - self._last[key])
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._crf
+
+    def __len__(self) -> int:
+        return len(self._crf)
+
+    def access(self, key: Hashable):  # advance the reference clock per access
+        self._clock += 1
+        return super().access(key)
+
+    def insert(self, key: Hashable):
+        self._clock += 1
+        return super().insert(key)
+
+    def _touch(self, key: Hashable) -> None:
+        self._crf[key] = 1.0 + self._current_crf(key)
+        self._last[key] = self._clock
+
+    def _insert(self, key: Hashable) -> None:
+        self._crf[key] = 1.0
+        self._last[key] = self._clock
+
+    def _select_victim(self) -> Hashable:
+        return min(self._crf, key=lambda k: (self._current_crf(k), self._last[k]))
+
+    def _remove(self, key: Hashable) -> None:
+        del self._crf[key]
+        del self._last[key]
+
+    def crf(self, key: Hashable) -> float:
+        """Current (decayed) CRF value of a resident key."""
+        return self._current_crf(key)
+
+
+class BeladyCache(CachePolicy):
+    """Clairvoyant MIN replacement over a known future reference string.
+
+    ``future`` is the complete access sequence the cache will see; the
+    policy evicts the resident key whose next reference is farthest in
+    the future (or never).  Accesses must then be fed in exactly that
+    order; feeding anything else raises, because clairvoyance is only
+    meaningful against the declared future.
+    """
+
+    def __init__(self, capacity: int, future: Iterable[Hashable]):
+        super().__init__(capacity)
+        self._future = list(future)
+        self._next_use: dict[Hashable, deque[int]] = defaultdict(deque)
+        for pos, key in enumerate(self._future):
+            self._next_use[key].append(pos)
+        self._pos = 0
+        self._resident: set[Hashable] = set()
+        # victim selection uses a lazy max-heap of (-next_pos, key)
+        self._heap: list[tuple[int, int]] = []
+        self._ids: dict[int, Hashable] = {}
+        self._id_of: dict[Hashable, int] = {}
+        self._next_id = 0
+
+    INFINITY = 1 << 62
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def _advance(self, key: Hashable) -> None:
+        if self._pos >= len(self._future) or self._future[self._pos] != key:
+            raise ValueError(
+                f"access out of declared order at position {self._pos}: got {key!r}"
+            )
+        q = self._next_use[key]
+        assert q and q[0] == self._pos
+        q.popleft()
+        self._pos += 1
+
+    def _peek_next(self, key: Hashable) -> int:
+        q = self._next_use.get(key)
+        return q[0] if q else self.INFINITY
+
+    def _push(self, key: Hashable) -> None:
+        kid = self._id_of.get(key)
+        if kid is None:
+            self._next_id += 1
+            kid = self._next_id
+            self._id_of[key] = kid
+            self._ids[kid] = key
+        heapq.heappush(self._heap, (-self._peek_next(key), kid))
+
+    def access(self, key: Hashable):
+        self._advance(key)
+        result = super().access(key)
+        return result
+
+    def insert(self, key: Hashable):
+        # Prefetch insertion does not consume a future reference.
+        return super().insert(key)
+
+    def _touch(self, key: Hashable) -> None:
+        self._push(key)  # refresh heap entry with the new next-use distance
+
+    def _insert(self, key: Hashable) -> None:
+        self._resident.add(key)
+        self._push(key)
+
+    def _select_victim(self) -> Hashable:
+        while self._heap:
+            neg, kid = self._heap[0]
+            key = self._ids[kid]
+            if key not in self._resident or -neg != self._peek_next(key):
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            return key
+        raise RuntimeError("victim requested from empty cache")
+
+    def _remove(self, key: Hashable) -> None:
+        self._resident.discard(key)

@@ -1,0 +1,156 @@
+"""A single tier of the storage hierarchy.
+
+A :class:`StorageTier` couples a capacity ledger (which segments live
+here, how many bytes are used) with a contended device model
+(:class:`~repro.sim.pipes.BandwidthPipe`).  Reads and writes are
+simulation processes that queue for the device's channels; residency
+bookkeeping is synchronous and always consistent.
+
+The ``min_score`` / ``max_score`` attributes are the per-tier score
+bounds of the paper's Algorithm 1 — they belong to the tier in the
+paper's pseudocode, so they live here, maintained by the placement
+engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Iterable
+
+from repro.sim.core import Environment
+from repro.sim.pipes import BandwidthPipe
+from repro.storage.devices import DeviceProfile
+from repro.storage.segments import SegmentKey
+
+__all__ = ["StorageTier"]
+
+
+class StorageTier:
+    """One tier of the DMSH: a device model plus a residency ledger."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: DeviceProfile,
+        capacity: float,
+        name: str | None = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"tier capacity must be positive, got {capacity}")
+        self.env = env
+        self.profile = profile
+        self.capacity = capacity
+        self.name = name or profile.name
+        self.pipe = BandwidthPipe(
+            env,
+            latency=profile.latency,
+            bandwidth=profile.bandwidth,
+            channels=profile.channels,
+            name=self.name,
+        )
+        self._resident: dict[SegmentKey, int] = {}
+        self._used = 0
+        # Algorithm 1 score bounds (maintained by the placement engine).
+        self.min_score = math.inf
+        self.max_score = -math.inf
+        # instrumentation
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.admissions = 0
+        self.drops = 0
+        self.peak_used = 0
+
+    # -- residency ledger -------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Bytes currently resident."""
+        return self._used
+
+    @property
+    def free(self) -> float:
+        """Bytes of remaining capacity."""
+        return self.capacity - self._used
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident segments."""
+        return len(self._resident)
+
+    def has(self, key: SegmentKey) -> bool:
+        """Whether ``key`` is resident on this tier."""
+        return key in self._resident
+
+    def resident_keys(self) -> Iterable[SegmentKey]:
+        """Iterate over resident segment keys (insertion order)."""
+        return self._resident.keys()
+
+    def size_of(self, key: SegmentKey) -> int:
+        """Resident byte size of ``key`` (KeyError if absent)."""
+        return self._resident[key]
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more would fit right now."""
+        return self._used + nbytes <= self.capacity
+
+    def admit(self, key: SegmentKey, nbytes: int) -> None:
+        """Record ``key`` as resident (capacity-checked)."""
+        if key in self._resident:
+            raise ValueError(f"{key} is already resident on {self.name}")
+        if nbytes < 0:
+            raise ValueError("segment size must be non-negative")
+        if not self.can_fit(nbytes):
+            raise ValueError(
+                f"{self.name} over capacity: used={self._used} + {nbytes} > {self.capacity}"
+            )
+        self._resident[key] = nbytes
+        self._used += nbytes
+        self.admissions += 1
+        if self._used > self.peak_used:
+            self.peak_used = self._used
+
+    def drop(self, key: SegmentKey) -> int:
+        """Remove ``key`` from the ledger, returning its size."""
+        try:
+            nbytes = self._resident.pop(key)
+        except KeyError:
+            raise KeyError(f"{key} is not resident on {self.name}") from None
+        self._used -= nbytes
+        self.drops += 1
+        return nbytes
+
+    # -- simulated I/O -----------------------------------------------------
+    def read(self, nbytes: int, priority: int = 0) -> Generator:
+        """Process generator: read ``nbytes`` from this tier's device.
+
+        ``priority`` 0 is a demand read; pass
+        :attr:`~repro.sim.pipes.BandwidthPipe.PREFETCH` for background
+        movement so it never delays application requests.
+        """
+        duration = yield from self.pipe.transfer(nbytes, priority=priority)
+        self.reads += 1
+        self.bytes_read += nbytes
+        return duration
+
+    def write(self, nbytes: int, priority: int = 0) -> Generator:
+        """Process generator: write ``nbytes`` to this tier's device."""
+        duration = yield from self.pipe.transfer(nbytes, priority=priority)
+        self.writes += 1
+        self.bytes_written += nbytes
+        return duration
+
+    def service_time(self, nbytes: int) -> float:
+        """Uncontended transfer time for ``nbytes``."""
+        return self.pipe.service_time(nbytes)
+
+    def reset_score_bounds(self) -> None:
+        """Clear the Algorithm 1 score window (empty-tier state)."""
+        self.min_score = math.inf
+        self.max_score = -math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<StorageTier {self.name} used={self._used}/{self.capacity:g} "
+            f"segments={len(self._resident)}>"
+        )

@@ -1,0 +1,45 @@
+"""Workload specifications and generators.
+
+The evaluation drives every solution with I/O request streams described
+by :class:`~repro.workloads.spec.WorkloadSpec`:
+
+* :mod:`repro.workloads.patterns` — the four canonical access patterns
+  of Fig. 5 (sequential, strided, repetitive, irregular).
+* :mod:`repro.workloads.synthetic` — builders for the Fig. 3/4/5
+  synthetic experiments (I/O bursts with interleaved compute, weak
+  scaling, multi-application pipelines sharing a dataset).
+* :mod:`repro.workloads.montage` — the Montage astronomy mosaic
+  workflow model (4 phases; read-intensive, iterative).
+* :mod:`repro.workloads.wrf` — the WRF weather-forecast workflow model
+  (pre-processing, iterative main model, post-processing).
+"""
+
+from repro.workloads.patterns import (
+    AccessPattern,
+    irregular_pattern,
+    repetitive_pattern,
+    sequential_pattern,
+    strided_pattern,
+)
+from repro.workloads.io_traces import (
+    workload_from_json,
+    workload_from_trace_rows,
+    workload_to_json,
+)
+from repro.workloads.spec import AppSpec, ProcessSpec, ReadOp, StepSpec, WorkloadSpec
+
+__all__ = [
+    "AccessPattern",
+    "AppSpec",
+    "ProcessSpec",
+    "ReadOp",
+    "StepSpec",
+    "WorkloadSpec",
+    "irregular_pattern",
+    "repetitive_pattern",
+    "sequential_pattern",
+    "strided_pattern",
+    "workload_from_json",
+    "workload_from_trace_rows",
+    "workload_to_json",
+]

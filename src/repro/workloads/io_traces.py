@@ -1,0 +1,172 @@
+"""I/O trace import/export.
+
+Bridges the workload vocabulary to the outside world:
+
+* :func:`workload_to_json` / :func:`workload_from_json` — lossless
+  round-trip of a :class:`~repro.workloads.spec.WorkloadSpec`, so
+  generated workloads can be archived, diffed and replayed.
+* :func:`workload_from_trace_rows` — synthesise a workload from a flat
+  I/O trace (rows of ``pid, app, timestamp, file, offset, size``), the
+  shape produced by Darshan-style instrumentation.  Requests are grouped
+  into timesteps by their timestamp gaps, with the gaps becoming the
+  compute phases — letting the reproduction replay *real* application
+  traces against any prefetcher.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.workloads.spec import (
+    AppSpec,
+    FileDecl,
+    ProcessSpec,
+    ReadOp,
+    StepSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "workload_to_json",
+    "workload_from_json",
+    "workload_from_trace_rows",
+    "TraceRow",
+]
+
+#: One trace record: (pid, app, timestamp, file_id, offset, size).
+TraceRow = tuple[int, str, float, str, int, int]
+
+
+# ------------------------------------------------------------- JSON round trip
+def workload_to_json(workload: WorkloadSpec, indent: int | None = None) -> str:
+    """Serialise a workload spec (files, apps, processes, steps)."""
+    payload = {
+        "name": workload.name,
+        "files": [
+            {
+                "file_id": f.file_id,
+                "size": f.size,
+                "segment_size": f.segment_size,
+                "origin": f.origin,
+            }
+            for f in workload.files
+        ],
+        "apps": [
+            {"name": a.name, "depends_on": list(a.depends_on)} for a in workload.apps
+        ],
+        "processes": [
+            {
+                "pid": p.pid,
+                "app": p.app,
+                "start_delay": p.start_delay,
+                "steps": [
+                    {
+                        "compute_time": s.compute_time,
+                        "reads": [[op.file_id, op.offset, op.size] for op in s.reads],
+                        "writes": [
+                            [op.file_id, op.offset, op.size] for op in s.writes
+                        ],
+                    }
+                    for s in p.steps
+                ],
+            }
+            for p in workload.processes
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def workload_from_json(text: str) -> WorkloadSpec:
+    """Parse a workload serialised by :func:`workload_to_json`."""
+    raw = json.loads(text)
+    files = [
+        FileDecl(
+            file_id=f["file_id"],
+            size=int(f["size"]),
+            segment_size=f.get("segment_size"),
+            origin=f.get("origin", "PFS"),
+        )
+        for f in raw["files"]
+    ]
+    apps = [
+        AppSpec(name=a["name"], depends_on=tuple(a.get("depends_on", ())))
+        for a in raw.get("apps", [])
+    ]
+    processes = [
+        ProcessSpec(
+            pid=int(p["pid"]),
+            app=p["app"],
+            start_delay=float(p.get("start_delay", 0.0)),
+            steps=tuple(
+                StepSpec(
+                    compute_time=float(s["compute_time"]),
+                    reads=tuple(ReadOp(fid, int(off), int(size)) for fid, off, size in s["reads"]),
+                    writes=tuple(
+                        ReadOp(fid, int(off), int(size))
+                        for fid, off, size in s.get("writes", ())
+                    ),
+                )
+                for s in p["steps"]
+            ),
+        )
+        for p in raw["processes"]
+    ]
+    return WorkloadSpec(name=raw["name"], files=files, processes=processes, apps=apps)
+
+
+# ----------------------------------------------------------- trace synthesis
+def workload_from_trace_rows(
+    rows: Iterable[TraceRow],
+    name: str = "trace-replay",
+    step_gap: float = 0.05,
+    segment_size: int | None = None,
+    origin: str = "PFS",
+) -> WorkloadSpec:
+    """Build a workload from a flat I/O trace.
+
+    Rows need not be sorted.  Per process, consecutive requests closer
+    than ``step_gap`` (seconds) land in the same timestep; a larger gap
+    starts a new step whose compute phase equals the gap.  File sizes
+    are inferred from the largest offset+size seen.
+    """
+    by_pid: dict[int, list[TraceRow]] = {}
+    file_extent: dict[str, int] = {}
+    app_of: dict[int, str] = {}
+    for row in rows:
+        pid, app, ts, fid, offset, size = row
+        if size <= 0 or offset < 0:
+            raise ValueError(f"bad trace row: {row!r}")
+        by_pid.setdefault(pid, []).append(row)
+        app_of[pid] = app
+        file_extent[fid] = max(file_extent.get(fid, 0), offset + size)
+    if not by_pid:
+        raise ValueError("empty trace")
+
+    processes = []
+    t0 = min(r[2] for rows_ in by_pid.values() for r in rows_)
+    for pid, rows_ in sorted(by_pid.items()):
+        rows_.sort(key=lambda r: r[2])
+        steps: list[StepSpec] = []
+        current: list[ReadOp] = []
+        compute = rows_[0][2] - t0
+        last_ts = rows_[0][2]
+        for _pid, _app, ts, fid, offset, size in rows_:
+            gap = ts - last_ts
+            if current and gap > step_gap:
+                steps.append(StepSpec(compute_time=max(0.0, compute), reads=tuple(current)))
+                current = []
+                compute = gap
+            current.append(ReadOp(fid, offset, size))
+            last_ts = ts
+        if current:
+            steps.append(StepSpec(compute_time=max(0.0, compute), reads=tuple(current)))
+        processes.append(
+            ProcessSpec(pid=pid, app=app_of[pid], steps=tuple(steps))
+        )
+
+    files = [
+        FileDecl(fid, extent, segment_size=segment_size, origin=origin)
+        for fid, extent in sorted(file_extent.items())
+    ]
+    return WorkloadSpec(name=name, files=files, processes=processes)

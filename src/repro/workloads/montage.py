@@ -1,0 +1,184 @@
+"""The Montage workflow model (Fig. 6(a)).
+
+Montage [46] is "a collection of MPI programs comprising an astronomical
+image mosaic engine.  Each phase of building the mosaic takes an input
+from the previous phase and outputs intermediate data to the next one"
+(§IV-B.1).  The paper's description maps to four applications in a
+pipeline, reproduced here with the read behaviour it documents:
+
+1. ``ingest``    — "FITS images are initially read by multiple processes
+   in a sequential order."
+2. ``project``   — "a subset of them are re-projected ... multiple
+   processes read the same images multiple times but in different
+   time-frames" → repeated, staggered reads of shared images.
+3. ``diff``      — "runs a diff between all the projected images and
+   calculates the least square distance ... executed until the model
+   converges resulting in a random but repetitive read pattern."
+4. ``correct``   — "a correction is applied on the overlaid images and
+   the final image is created" → a last sequential pass.
+
+Scaling-test parameters follow §IV-B.1: each rank performs
+``bytes_per_step`` of I/O per timestep for 16 timesteps (4 per phase);
+weak scaling multiplies ranks.  "Required data are initially staged in
+the burst buffer nodes", so every file's origin is the burst-buffer
+tier.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededStream
+from repro.workloads.patterns import repetitive_pattern, sequential_pattern
+from repro.workloads.spec import (
+    AppSpec,
+    FileDecl,
+    ProcessSpec,
+    ReadOp,
+    StepSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["montage_workload"]
+
+MB = 1 << 20
+
+#: Phase order and their per-rank timestep counts (4 × 4 = 16 steps).
+PHASES = (
+    ("ingest", 4),
+    ("project", 4),
+    ("diff", 4),
+    ("correct", 4),
+)
+
+
+def montage_workload(
+    processes: int,
+    bytes_per_step: int = 10 * MB,
+    request_size: int = 1 * MB,
+    segment_size: int = 1 * MB,
+    compute_time: float = 0.3,
+    origin: str = "BurstBuffer",
+    image_sharing: int = 8,
+    seed: int = 2020,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """Build the Montage pipeline at a given (weak) scale.
+
+    Parameters
+    ----------
+    processes:
+        Ranks per phase (the paper weak-scales 320 → 2560).
+    bytes_per_step:
+        Per-rank I/O per timestep (paper: 10 MB).
+    image_sharing:
+        How many ranks share one FITS image group — re-projection reads
+        the same images from many ranks, which is what gives the
+        workflow its data-centric-friendly reuse.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if image_sharing < 1:
+        raise ValueError("image_sharing must be >= 1")
+    rng = SeededStream(seed, "montage")
+    phase_bytes = {ph: n * bytes_per_step for ph, n in PHASES}
+
+    # --- datasets ---------------------------------------------------------
+    # FITS images: shared by groups of ``image_sharing`` ranks in the
+    # ingest and re-projection phases (reuse factor = image_sharing).
+    groups = max(1, processes // image_sharing)
+    fits_group_bytes = phase_bytes["ingest"] * image_sharing // max(1, image_sharing)
+    # each group's FITS file holds one ingest pass worth of data
+    fits_files = [
+        FileDecl(
+            f"/bb/montage/fits_{g:04d}",
+            fits_group_bytes,
+            segment_size=segment_size,
+            origin=origin,
+        )
+        for g in range(groups)
+    ]
+    # projected images: intermediate output of ``project``, read by the
+    # diff and correction phases; also staged in the burst buffers.
+    proj_group_bytes = phase_bytes["diff"] * image_sharing // max(1, image_sharing)
+    proj_files = [
+        FileDecl(
+            f"/bb/montage/proj_{g:04d}",
+            proj_group_bytes,
+            segment_size=segment_size,
+            origin=origin,
+        )
+        for g in range(groups)
+    ]
+
+    # --- per-phase rank bodies -------------------------------------------------
+    procs: list[ProcessSpec] = []
+    pid = 0
+    for phase, steps in PHASES:
+        for r in range(processes):
+            g = (r // image_sharing) % groups
+            if phase == "ingest":
+                fdecl = fits_files[g]
+                ops = sequential_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    start_offset=(r % image_sharing) * bytes_per_step,
+                )
+            elif phase == "project":
+                # the same images, read again in different time-frames
+                fdecl = fits_files[g]
+                ops = sequential_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    start_offset=((r % image_sharing) * 3 + 1) * bytes_per_step,
+                )
+            elif phase == "diff":
+                fdecl = proj_files[g]
+                ops = repetitive_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    rng.spawn(f"diff/{g}/{r % image_sharing}"),
+                )
+            else:  # correct
+                fdecl = proj_files[g]
+                ops = sequential_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    start_offset=(r % image_sharing) * bytes_per_step,
+                )
+            # the re-projection phase *produces* the projected images the
+            # diff and correction phases consume (each rank emits its
+            # share of its group's proj file, spread over the steps)
+            writes_per_step: list[tuple] = [() for _ in ops]
+            if phase == "project":
+                proj = proj_files[g]
+                share = proj.size // image_sharing
+                chunk = max(request_size, share // max(1, steps))
+                base = (r % image_sharing) * share
+                for si in range(steps):
+                    off = base + si * chunk
+                    if off + chunk <= proj.size:
+                        writes_per_step[si] = (ReadOp(proj.file_id, off, chunk),)
+            procs.append(
+                ProcessSpec(
+                    pid=pid,
+                    app=phase,
+                    steps=tuple(
+                        StepSpec(
+                            compute_time=compute_time,
+                            reads=tuple(o),
+                            writes=writes_per_step[si],
+                        )
+                        for si, o in enumerate(ops)
+                    ),
+                    start_delay=(r % 64) * 0.001,
+                )
+            )
+            pid += 1
+
+    apps = [
+        AppSpec("ingest"),
+        AppSpec("project", depends_on=("ingest",)),
+        AppSpec("diff", depends_on=("project",)),
+        AppSpec("correct", depends_on=("diff",)),
+    ]
+    return WorkloadSpec(
+        name=name or f"montage-{processes}",
+        files=fits_files + proj_files,
+        processes=procs,
+        apps=apps,
+    )

@@ -1,0 +1,171 @@
+"""The four canonical access patterns of the evaluation (Fig. 5).
+
+Commonly-used HPC read patterns [45]:
+
+* **sequential** — consecutive requests walk the file front to back;
+* **strided** — constant-stride jumps (e.g. every k-th block of a
+  multidimensional variable);
+* **repetitive** — a random-looking sequence that repeats identically
+  every iteration (Montage's model-convergence loop: "a random but
+  repetitive read pattern");
+* **irregular** — fresh random offsets every time, no structure.
+
+Each generator returns a list of steps, each step a list of
+:class:`~repro.workloads.spec.ReadOp` — compute phases are attached by
+the workload builders.  All offsets are request-aligned and wrap modulo
+the file size, so any (steps × bytes/step) combination is valid for any
+file.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.sim.rng import SeededStream
+from repro.workloads.spec import ReadOp
+
+__all__ = [
+    "AccessPattern",
+    "sequential_pattern",
+    "strided_pattern",
+    "repetitive_pattern",
+    "irregular_pattern",
+    "pattern_generator",
+]
+
+
+class AccessPattern(enum.Enum):
+    """The Fig. 5 pattern set."""
+
+    SEQUENTIAL = "sequential"
+    STRIDED = "strided"
+    REPETITIVE = "repetitive"
+    IRREGULAR = "irregular"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def _validate(file_size: int, steps: int, bytes_per_step: int, request_size: int) -> int:
+    if file_size <= 0:
+        raise ValueError("file_size must be positive")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if request_size <= 0 or bytes_per_step <= 0:
+        raise ValueError("request_size and bytes_per_step must be positive")
+    if request_size > file_size:
+        raise ValueError("request_size larger than the file")
+    requests = -(-bytes_per_step // request_size)
+    return requests
+
+
+def _aligned(offset: int, request_size: int, file_size: int) -> int:
+    """Clamp an offset so the request fits inside the file."""
+    offset %= file_size
+    if offset + request_size > file_size:
+        offset = file_size - request_size
+    return offset
+
+
+def sequential_pattern(
+    file_id: str,
+    file_size: int,
+    steps: int,
+    bytes_per_step: int,
+    request_size: int,
+    start_offset: int = 0,
+) -> list[list[ReadOp]]:
+    """Front-to-back walk, continuing across steps (wraps at EOF)."""
+    requests = _validate(file_size, steps, bytes_per_step, request_size)
+    out: list[list[ReadOp]] = []
+    cursor = start_offset % file_size
+    for _step in range(steps):
+        ops = []
+        for _r in range(requests):
+            off = _aligned(cursor, request_size, file_size)
+            ops.append(ReadOp(file_id, off, request_size))
+            cursor = (cursor + request_size) % file_size
+        out.append(ops)
+    return out
+
+
+def strided_pattern(
+    file_id: str,
+    file_size: int,
+    steps: int,
+    bytes_per_step: int,
+    request_size: int,
+    stride: int | None = None,
+    start_offset: int = 0,
+) -> list[list[ReadOp]]:
+    """Constant-stride jumps; default stride is 4 request sizes."""
+    requests = _validate(file_size, steps, bytes_per_step, request_size)
+    stride = stride if stride is not None else 4 * request_size
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    out: list[list[ReadOp]] = []
+    cursor = start_offset % file_size
+    for _step in range(steps):
+        ops = []
+        for _r in range(requests):
+            off = _aligned(cursor, request_size, file_size)
+            ops.append(ReadOp(file_id, off, request_size))
+            cursor = (cursor + stride) % file_size
+        out.append(ops)
+    return out
+
+
+def repetitive_pattern(
+    file_id: str,
+    file_size: int,
+    steps: int,
+    bytes_per_step: int,
+    request_size: int,
+    rng: SeededStream,
+) -> list[list[ReadOp]]:
+    """A random request sequence, repeated identically every step."""
+    requests = _validate(file_size, steps, bytes_per_step, request_size)
+    slots = max(1, file_size // request_size)
+    template = [
+        _aligned(int(rng.randint(0, slots)) * request_size, request_size, file_size)
+        for _ in range(requests)
+    ]
+    ops = [ReadOp(file_id, off, request_size) for off in template]
+    return [list(ops) for _step in range(steps)]
+
+
+def irregular_pattern(
+    file_id: str,
+    file_size: int,
+    steps: int,
+    bytes_per_step: int,
+    request_size: int,
+    rng: SeededStream,
+) -> list[list[ReadOp]]:
+    """Fresh random offsets every step — the pattern prefetchers hate."""
+    requests = _validate(file_size, steps, bytes_per_step, request_size)
+    slots = max(1, file_size // request_size)
+    out: list[list[ReadOp]] = []
+    for _step in range(steps):
+        ops = [
+            ReadOp(
+                file_id,
+                _aligned(int(rng.randint(0, slots)) * request_size, request_size, file_size),
+                request_size,
+            )
+            for _ in range(requests)
+        ]
+        out.append(ops)
+    return out
+
+
+def pattern_generator(pattern: AccessPattern) -> Callable:
+    """Dispatch an :class:`AccessPattern` to its generator function."""
+    table = {
+        AccessPattern.SEQUENTIAL: sequential_pattern,
+        AccessPattern.STRIDED: strided_pattern,
+        AccessPattern.REPETITIVE: repetitive_pattern,
+        AccessPattern.IRREGULAR: irregular_pattern,
+    }
+    return table[pattern]

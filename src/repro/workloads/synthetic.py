@@ -1,0 +1,290 @@
+"""Synthetic workload builders for the Fig. 3/4/5 experiments.
+
+Three families:
+
+* :func:`partitioned_sequential_workload` — every rank sequentially
+  reads its own contiguous partition of a shared dataset across
+  timesteps (the Fig. 4(a)/(b) setup: "2560 MPI processes, each
+  performing sequential reads").
+* :func:`burst_workload` — alternating compute phases and I/O bursts
+  re-reading a shared dataset (the Fig. 3(b) engine-reactiveness setup:
+  "workloads that consist of alternating computations and I/O bursts",
+  with w1/w2/w3 = data-intensive / balanced / compute-intensive).
+* :func:`multi_app_pattern_workload` — several applications organised
+  as an analysis/visualisation pipeline issuing requests *on the same
+  dataset* under one of the four canonical patterns (the Fig. 5 setup).
+
+All builders produce plain :class:`~repro.workloads.spec.WorkloadSpec`
+objects; nothing here knows about prefetchers or the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.rng import SeededStream
+from repro.workloads.patterns import (
+    AccessPattern,
+    irregular_pattern,
+    repetitive_pattern,
+    sequential_pattern,
+    strided_pattern,
+)
+from repro.workloads.spec import (
+    AppSpec,
+    FileDecl,
+    ProcessSpec,
+    ReadOp,
+    StepSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "partitioned_sequential_workload",
+    "burst_workload",
+    "multi_app_pattern_workload",
+    "shared_sequential_workload",
+]
+
+MB = 1 << 20
+
+
+def _steps_from_ops(
+    ops_per_step: list[list[ReadOp]], compute_time: float
+) -> tuple[StepSpec, ...]:
+    return tuple(
+        StepSpec(compute_time=compute_time, reads=tuple(ops)) for ops in ops_per_step
+    )
+
+
+def partitioned_sequential_workload(
+    processes: int,
+    steps: int,
+    bytes_per_proc_step: int,
+    request_size: int = 1 * MB,
+    segment_size: int = 1 * MB,
+    compute_time: float = 0.25,
+    origin: str = "PFS",
+    stagger: float = 0.002,
+    name: str = "partitioned-sequential",
+    file_id: str = "/pfs/dataset",
+) -> WorkloadSpec:
+    """Disjoint per-rank sequential partitions of one shared dataset.
+
+    Rank *p* owns bytes ``[p*P, (p+1)*P)`` where ``P = steps *
+    bytes_per_proc_step``, and walks it front to back, ``bytes_per_proc_
+    step`` per timestep.  ``stagger`` adds per-rank start skew (MPI jobs
+    never start in lock-step), which is also what lets reactive
+    prefetchers overlap fetches with the skewed readers.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    partition = steps * bytes_per_proc_step
+    total = processes * partition
+    files = [FileDecl(file_id, total, segment_size=segment_size, origin=origin)]
+    procs = []
+    for p in range(processes):
+        ops_per_step = sequential_pattern(
+            file_id,
+            total,
+            steps=steps,
+            bytes_per_step=bytes_per_proc_step,
+            request_size=request_size,
+            start_offset=p * partition,
+        )
+        procs.append(
+            ProcessSpec(
+                pid=p,
+                app="reader",
+                steps=_steps_from_ops(ops_per_step, compute_time),
+                start_delay=(p % 64) * stagger,
+            )
+        )
+    return WorkloadSpec(name=name, files=files, processes=procs)
+
+
+#: Alias used by the package quickstart.
+def shared_sequential_workload(
+    processes: int = 64,
+    steps: int = 4,
+    bytes_per_proc_step: int = 4 * MB,
+    **kwargs,
+) -> WorkloadSpec:
+    """Small partitioned-sequential workload with friendly defaults."""
+    return partitioned_sequential_workload(
+        processes=processes,
+        steps=steps,
+        bytes_per_proc_step=bytes_per_proc_step,
+        **kwargs,
+    )
+
+
+def burst_workload(
+    processes: int,
+    bursts: int,
+    burst_bytes_total: int,
+    request_size: int = 1 * MB,
+    segment_size: int = 1 * MB,
+    compute_time: float = 0.5,
+    shift_fraction: float = 0.25,
+    overlap: float = 0.5,
+    stagger: float = 0.1,
+    origin: str = "PFS",
+    name: str = "bursts",
+    file_id: str = "/pfs/burst-data",
+    seed: int = 2020,
+) -> WorkloadSpec:
+    """Alternating compute and I/O bursts over a sliding, shared window.
+
+    Each burst collectively reads ``burst_bytes_total`` in
+    ``request_size`` requests.  Ranks read *overlapping* slices
+    (``overlap`` is the fraction of a rank's slice shared with its
+    neighbour) and start with a uniform skew of up to ``stagger``
+    seconds — real MPI I/O bursts are never lock-step.  Both knobs are
+    what make engine reactiveness measurable: a segment read by rank
+    *p* is re-read by rank *p+1* a fraction of a burst later, so only
+    an engine that reacts *within* the burst converts the second read
+    into a hit.  Burst *b*'s window also slides by ``shift_fraction``
+    of its span, so a fresh slice appears every burst.
+
+    ``compute_time`` is the per-burst computation: small =
+    data-intensive (w1), large = compute-intensive (w3).
+    """
+    if processes < 1 or bursts < 1:
+        raise ValueError("processes and bursts must be >= 1")
+    if not 0.0 <= shift_fraction <= 1.0:
+        raise ValueError("shift_fraction must be in [0, 1]")
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError("overlap must be in [0, 1)")
+    if stagger < 0:
+        raise ValueError("stagger must be non-negative")
+    per_proc = max(request_size, burst_bytes_total // processes)
+    per_proc = per_proc // request_size * request_size
+    stride = max(request_size, int(per_proc * (1.0 - overlap)))
+    stride = stride // request_size * request_size
+    window_span = stride * (processes - 1) + per_proc
+    shift = max(request_size, int(window_span * shift_fraction))
+    shift = shift // request_size * request_size
+    dataset = window_span + shift * (bursts - 1)
+    files = [FileDecl(file_id, dataset, segment_size=segment_size, origin=origin)]
+    rng = SeededStream(seed, f"burst/{name}")
+    procs = []
+    for p in range(processes):
+        ops_per_step: list[list[ReadOp]] = []
+        for b in range(bursts):
+            start = b * shift + p * stride
+            ops_per_step.extend(
+                sequential_pattern(
+                    file_id,
+                    dataset,
+                    steps=1,
+                    bytes_per_step=per_proc,
+                    request_size=request_size,
+                    start_offset=start,
+                )
+            )
+        procs.append(
+            ProcessSpec(
+                pid=p,
+                app="burst",
+                steps=_steps_from_ops(ops_per_step, compute_time),
+                start_delay=rng.uniform(0.0, stagger),
+            )
+        )
+    return WorkloadSpec(name=name, files=files, processes=procs)
+
+
+def multi_app_pattern_workload(
+    pattern: AccessPattern,
+    processes: int,
+    apps: int = 4,
+    steps: int = 4,
+    bytes_per_proc_step: int = 2 * MB,
+    request_size: int = 1 * MB,
+    segment_size: int = 1 * MB,
+    compute_time: float = 0.25,
+    dataset_bytes: Optional[int] = None,
+    origin: str = "PFS",
+    name: Optional[str] = None,
+    file_id: str = "/pfs/shared-dataset",
+    seed: int = 2020,
+) -> WorkloadSpec:
+    """Several applications issuing requests on the same dataset (Fig. 5).
+
+    ``processes`` ranks are split into ``apps`` communicator groups
+    "representing different applications resembling a data analysis and
+    visualization pipeline"; every rank reads the shared dataset under
+    the given pattern.  Within an application ranks cover the dataset
+    cooperatively (rank *i* starts at slice *i*), so each application's
+    aggregate demand is the whole dataset — the unit the paper sizes the
+    prefetching cache against ("configured to fit the total data size of
+    two out of the four applications").
+    """
+    if processes < apps:
+        raise ValueError("need at least one process per app")
+    per_app = processes // apps
+    if dataset_bytes is None:
+        dataset_bytes = per_app * steps * bytes_per_proc_step
+    rng = SeededStream(seed, f"fig5/{pattern}")
+    files = [FileDecl(file_id, dataset_bytes, segment_size=segment_size, origin=origin)]
+    app_names = [f"app{i}" for i in range(apps)]
+    procs = []
+    pid = 0
+    for a, app in enumerate(app_names):
+        for r in range(per_app):
+            slice_offset = (r * steps * bytes_per_proc_step) % dataset_bytes
+            if pattern is AccessPattern.SEQUENTIAL:
+                ops = sequential_pattern(
+                    file_id, dataset_bytes, steps, bytes_per_proc_step,
+                    request_size, start_offset=slice_offset,
+                )
+            elif pattern is AccessPattern.STRIDED:
+                ops = strided_pattern(
+                    file_id, dataset_bytes, steps, bytes_per_proc_step,
+                    request_size, start_offset=slice_offset,
+                )
+            elif pattern is AccessPattern.REPETITIVE:
+                # the whole application repeatedly sweeps the dataset in a
+                # random-but-fixed order (the Montage diff-convergence
+                # behaviour); rank r executes its share of the app-level
+                # template every step, so the app's working set is the
+                # full dataset — larger than any per-app cache share
+                app_rng = rng.spawn(f"rep/{app}")
+                requests = -(-bytes_per_proc_step // request_size)
+                slots = max(1, dataset_bytes // request_size)
+                template = [
+                    (int(app_rng.randint(0, slots)) * request_size)
+                    for _ in range(requests * per_app)
+                ]
+                mine = template[r::per_app][:requests]
+                step_ops = [
+                    ReadOp(
+                        file_id,
+                        min(off, dataset_bytes - request_size),
+                        request_size,
+                    )
+                    for off in mine
+                ]
+                ops = [list(step_ops) for _ in range(steps)]
+            elif pattern is AccessPattern.IRREGULAR:
+                ops = irregular_pattern(
+                    file_id, dataset_bytes, steps, bytes_per_proc_step,
+                    request_size, rng.spawn(f"irr/{app}/{r}"),
+                )
+            else:  # pragma: no cover - exhaustive enum
+                raise ValueError(f"unknown pattern {pattern}")
+            procs.append(
+                ProcessSpec(
+                    pid=pid,
+                    app=app,
+                    steps=_steps_from_ops(ops, compute_time),
+                    start_delay=(a * per_app + r) % 64 * 0.001,
+                )
+            )
+            pid += 1
+    return WorkloadSpec(
+        name=name or f"pipeline-{pattern}",
+        files=files,
+        processes=procs,
+        apps=[AppSpec(name=a) for a in app_names],
+    )

@@ -1,0 +1,153 @@
+"""The WRF workflow model (Fig. 6(b)).
+
+WRF [47] is "a multi-application mesoscale numerical weather prediction
+system ... an iterative workflow where components of the simulation
+analyze observed and simulated data many times until the model
+converges.  As the model is simulated, an analysis application produces
+a visualization of this model.  There are three distinct phases:
+pre-processing, main model, post-processing and visualization"
+(§IV-B.2).
+
+The reproduction models the read side of those phases:
+
+1. ``wps``   (pre-processing)   — sequential ingest of static terrain /
+   observation inputs.
+2. ``model`` (main simulation)  — iterative re-reads of boundary and
+   observation data "many times until the model converges" → a
+   repetitive pattern over shared files.
+3. ``post``  (analysis + viz)   — strided sweeps over the model output
+   (field extraction across records).
+
+Scaling follows §IV-B.2: the *total* volume is fixed (strong scaling) —
+"each process reads 8 MB of data in 4 time steps for a total of 80 GB
+across all scales" at 2560 ranks — so per-rank bytes grow as ranks
+shrink.  "Input data are assumed to be initially present in the burst
+buffer nodes."
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededStream
+from repro.workloads.patterns import (
+    repetitive_pattern,
+    sequential_pattern,
+    strided_pattern,
+)
+from repro.workloads.spec import (
+    AppSpec,
+    FileDecl,
+    ProcessSpec,
+    StepSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["wrf_workload"]
+
+MB = 1 << 20
+
+#: Phase order and per-rank timestep counts (1 + 2 + 1 = 4 steps).
+PHASES = (
+    ("wps", 1),
+    ("model", 2),
+    ("post", 1),
+)
+
+
+def wrf_workload(
+    processes: int,
+    total_bytes: int,
+    request_size: int = 1 * MB,
+    segment_size: int = 1 * MB,
+    compute_time: float = 0.3,
+    origin: str = "BurstBuffer",
+    sharing: int = 16,
+    seed: int = 2020,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """Build the WRF pipeline at a given (strong) scale.
+
+    ``total_bytes`` is the fixed workload volume divided evenly over
+    ranks and their 4 timesteps; ``sharing`` ranks read the same input
+    file group (weather domains are decomposed but boundary data is
+    shared).
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if total_bytes < processes * 4 * request_size:
+        raise ValueError("total_bytes too small for the rank count")
+    steps_total = sum(n for _p, n in PHASES)
+    bytes_per_step = total_bytes // (processes * steps_total)
+    bytes_per_step = max(request_size, (bytes_per_step // request_size) * request_size)
+    rng = SeededStream(seed, "wrf")
+
+    groups = max(1, processes // sharing)
+    # shared input (terrain + boundary + observations) per group
+    input_bytes = bytes_per_step * sharing * (PHASES[0][1] + PHASES[1][1])
+    input_files = [
+        FileDecl(
+            f"/bb/wrf/input_{g:04d}",
+            input_bytes,
+            segment_size=segment_size,
+            origin=origin,
+        )
+        for g in range(groups)
+    ]
+    # model output read by the post/viz phase
+    output_bytes = bytes_per_step * sharing * PHASES[2][1]
+    output_files = [
+        FileDecl(
+            f"/bb/wrf/output_{g:04d}",
+            output_bytes,
+            segment_size=segment_size,
+            origin=origin,
+        )
+        for g in range(groups)
+    ]
+
+    procs: list[ProcessSpec] = []
+    pid = 0
+    for phase, steps in PHASES:
+        for r in range(processes):
+            g = (r // sharing) % groups
+            if phase == "wps":
+                fdecl = input_files[g]
+                ops = sequential_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    start_offset=(r % sharing) * bytes_per_step,
+                )
+            elif phase == "model":
+                fdecl = input_files[g]
+                # the convergence loop re-reads the same boundary data
+                ops = repetitive_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    rng.spawn(f"model/{g}/{r % sharing}"),
+                )
+            else:  # post
+                fdecl = output_files[g]
+                ops = strided_pattern(
+                    fdecl.file_id, fdecl.size, steps, bytes_per_step, request_size,
+                    start_offset=(r % sharing) * request_size,
+                )
+            procs.append(
+                ProcessSpec(
+                    pid=pid,
+                    app=phase,
+                    steps=tuple(
+                        StepSpec(compute_time=compute_time, reads=tuple(o)) for o in ops
+                    ),
+                    start_delay=(r % 64) * 0.001,
+                )
+            )
+            pid += 1
+
+    apps = [
+        AppSpec("wps"),
+        AppSpec("model", depends_on=("wps",)),
+        AppSpec("post", depends_on=("model",)),
+    ]
+    return WorkloadSpec(
+        name=name or f"wrf-{processes}",
+        files=input_files + output_files,
+        processes=procs,
+        apps=apps,
+    )

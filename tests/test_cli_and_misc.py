@@ -1,0 +1,79 @@
+"""Tests for the CLI entry point and remaining utility surfaces."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.metrics.report import _cell, format_table
+from repro.workloads.io_traces import workload_from_json, workload_to_json
+from repro.workloads.montage import montage_workload
+from repro.workloads.wrf import wrf_workload
+
+MB = 1 << 20
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "ablations" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figZZ"])
+
+
+def test_cli_runs_one_small_figure(capsys):
+    assert main(["fig4a", "--divisor", "64", "--repeats", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "RAM footprint" in out
+    assert "HFetch" in out
+
+
+# -------------------------------------------------------------- formatting
+def test_cell_formats():
+    assert _cell(0.0) == "0"
+    assert _cell(1234567.0) == "1,234,567"
+    assert _cell(3.14159) == "3.14"
+    assert _cell(0.00123) == "0.00123"
+    assert _cell("text") == "text"
+    assert _cell(42) == "42"
+
+
+def test_format_table_missing_columns_blank():
+    out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+    assert "a" in out and "b" in out
+
+
+# ------------------------------------------------------- workflow round trips
+def test_montage_project_phase_writes_proj_files():
+    wl = montage_workload(processes=8, bytes_per_step=MB, compute_time=0.01)
+    writers = [p for p in wl.processes if p.app == "project"]
+    assert writers
+    written = {f for p in writers for f in p.files_written}
+    assert all(fid.startswith("/bb/montage/proj_") for fid in written)
+    # writes stay inside the declared proj files
+    sizes = {f.file_id: f.size for f in wl.files}
+    for p in writers:
+        for step in p.steps:
+            for op in step.writes:
+                assert op.offset + op.size <= sizes[op.file_id]
+
+
+def test_montage_and_wrf_survive_json_round_trip():
+    for wl in (
+        montage_workload(processes=8, bytes_per_step=MB, compute_time=0.01),
+        wrf_workload(processes=4, total_bytes=64 * MB, compute_time=0.01),
+    ):
+        back = workload_from_json(workload_to_json(wl))
+        assert back.num_processes == wl.num_processes
+        assert [a.depends_on for a in back.apps] == [a.depends_on for a in wl.apps]
+        assert back.total_bytes == wl.total_bytes
+        # writes survive the round trip too
+        assert sum(p.bytes_written for p in back.processes) == sum(
+            p.bytes_written for p in wl.processes
+        )
+        for p, q in zip(wl.processes, back.processes):
+            assert p.steps == q.steps

@@ -1,0 +1,69 @@
+"""Unit tests for HFetch configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import GB, HFetchConfig, TierBudget
+
+
+def test_defaults_match_paper():
+    c = HFetchConfig()
+    assert c.segment_size == 1 << 20  # 1 MB
+    assert c.decay_base == 2.0
+    assert c.engine_interval == 1.0  # "e.g., every 1 sec"
+    assert c.engine_update_threshold == 100  # medium reactiveness
+    assert c.total_threads == 8  # the paper's server uses 8 threads
+    # Fig. 4(a) default cache layout: 5 / 15 / 20 GB
+    assert [b.capacity for b in c.tier_budgets] == [5 * GB, 15 * GB, 20 * GB]
+    assert c.total_cache_bytes == 40 * GB
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(segment_size=0),
+        dict(decay_base=1.5),
+        dict(max_history=0),
+        dict(engine_interval=0),
+        dict(engine_update_threshold=0),
+        dict(daemon_threads=0),
+        dict(engine_threads=0),
+        dict(lookahead_depth=-1),
+        dict(lookahead_discount=0.0),
+        dict(lookahead_discount=1.5),
+        dict(tier_budgets=()),
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        HFetchConfig(**kwargs)
+
+
+def test_tier_budget_positive():
+    with pytest.raises(ValueError):
+        TierBudget("RAM", 0)
+
+
+def test_with_reactiveness_presets():
+    c = HFetchConfig()
+    assert c.with_reactiveness("high").engine_update_threshold == 1
+    assert c.with_reactiveness("medium").engine_update_threshold == 100
+    assert c.with_reactiveness("low").engine_update_threshold == 1024
+    with pytest.raises(ValueError):
+        c.with_reactiveness("extreme")
+
+
+def test_with_thread_split():
+    c = HFetchConfig().with_thread_split(6, 2)
+    assert c.daemon_threads == 6 and c.engine_threads == 2
+
+
+def test_with_budgets():
+    c = HFetchConfig().with_budgets(TierBudget("RAM", GB))
+    assert len(c.tier_budgets) == 1
+    assert c.total_cache_bytes == GB
+
+
+def test_config_is_immutable():
+    c = HFetchConfig()
+    with pytest.raises(Exception):
+        c.segment_size = 42  # type: ignore[misc]

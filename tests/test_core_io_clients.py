@@ -1,0 +1,119 @@
+"""Unit tests for the I/O client pool (repro.core.io_clients)."""
+
+import pytest
+
+from repro.core.io_clients import IOClientPool, MoveInstruction
+from repro.network.comm import NodeCommunicator
+from repro.network.topology import ClusterTopology
+from repro.sim.core import Environment
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME, PFS_DISK
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.segments import SegmentKey
+from repro.storage.tier import StorageTier
+
+MB = 1 << 20
+
+
+def build(workers=1, batch=1, with_comm=False):
+    env = Environment()
+    ram = StorageTier(env, DRAM, 16 * MB)
+    nvme = StorageTier(env, NVME, 16 * MB)
+    bb = StorageTier(env, BURST_BUFFER, 16 * MB)
+    pfs = StorageTier(env, PFS_DISK, 1e15, name="PFS")
+    hier = StorageHierarchy([ram, nvme, bb], pfs)
+    comm = NodeCommunicator(env, ClusterTopology()) if with_comm else None
+    pool = IOClientPool(env, hier, comm=comm, workers_per_tier=workers, batch_segments=batch)
+    return env, hier, pool
+
+
+def test_parameter_validation():
+    env, hier, _ = build()
+    with pytest.raises(ValueError):
+        IOClientPool(env, hier, workers_per_tier=0)
+    with pytest.raises(ValueError):
+        IOClientPool(env, hier, batch_segments=0)
+
+
+def test_submit_requires_known_tier():
+    env, hier, pool = build()
+    with pytest.raises(KeyError):
+        pool.submit(MoveInstruction(SegmentKey("f", 0), MB, "PFS", "Tape"))
+
+
+def test_move_completes_and_clears_in_flight():
+    env, hier, pool = build()
+    pool.start()
+    key = SegmentKey("f", 0)
+    hier.place(key, MB, hier.by_name("RAM"))
+    pool.submit(MoveInstruction(key, MB, "PFS", "RAM"))
+    assert pool.serving_tier_name(key) == "PFS"  # in flight: source serves
+    env.run(until=1.0)
+    assert pool.serving_tier_name(key) == "RAM"
+    assert pool.moves_completed == 1
+    assert pool.bytes_moved == MB
+    assert pool.backlog == 0
+    pool.stop()
+
+
+def test_serving_tier_none_when_uncached():
+    env, hier, pool = build()
+    assert pool.serving_tier_name(SegmentKey("f", 9)) is None
+
+
+def test_batched_moves_amortise_source_latency():
+    def total_time(batch):
+        env, hier, pool = build(workers=1, batch=batch)
+        pool.start()
+        for i in range(8):
+            key = SegmentKey("f", i)
+            hier.place(key, MB, hier.by_name("RAM"))
+            pool.submit(MoveInstruction(key, MB, "PFS", "RAM"))
+        while pool.backlog:
+            env.step()
+        pool.stop()
+        return env.now
+
+    assert total_time(batch=8) < total_time(batch=1)
+
+
+def test_moves_between_cache_tiers_charge_both_devices():
+    env, hier, pool = build()
+    pool.start()
+    key = SegmentKey("f", 0)
+    nvme = hier.by_name("NVMe")
+    hier.place(key, MB, nvme)
+    # physically present in NVMe; now demote it to BB
+    bb = hier.by_name("BurstBuffer")
+    hier.place(key, MB, bb)
+    pool.submit(MoveInstruction(key, MB, "NVMe", "BurstBuffer"))
+    env.run(until=1.0)
+    assert nvme.reads == 1
+    assert bb.writes == 1
+    pool.stop()
+
+
+def test_remote_destination_crosses_fabric():
+    env, hier, pool = build(with_comm=True)
+    pool.start()
+    key = SegmentKey("f", 0)
+    hier.place(key, MB, hier.by_name("BurstBuffer"))
+    pool.submit(MoveInstruction(key, MB, "RAM", "BurstBuffer"))
+    env.run(until=1.0)
+    assert pool.comm.data_transfers == 1
+    pool.stop()
+
+
+def test_drop_in_flight_marker():
+    env, hier, pool = build()
+    key = SegmentKey("f", 0)
+    pool.in_flight[key] = "PFS"
+    pool.drop_in_flight(key)
+    assert key not in pool.in_flight
+
+
+def test_start_stop_idempotent():
+    env, hier, pool = build()
+    pool.start()
+    pool.start()
+    pool.stop()
+    pool.stop()

@@ -1,0 +1,108 @@
+"""Unit tests for the hardware monitor (repro.core.monitor)."""
+
+import pytest
+
+from repro.core.auditor import FileSegmentAuditor
+from repro.core.config import HFetchConfig
+from repro.core.monitor import HardwareMonitor
+from repro.events.queue import EventQueue
+from repro.events.types import CapacityEvent, EventType, FileEvent
+from repro.sim.core import Environment
+from repro.storage.devices import DRAM, PFS_DISK
+from repro.storage.files import FileSystemModel
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.tier import StorageTier
+
+MB = 1 << 20
+
+
+def make(daemons=2, hierarchy=False, **cfg):
+    env = Environment()
+    config = HFetchConfig(daemon_threads=daemons, **cfg)
+    fs = FileSystemModel(default_segment_size=MB)
+    fs.create("/f", 8 * MB)
+    auditor = FileSegmentAuditor(config, fs)
+    queue = EventQueue(env)
+    hier = None
+    if hierarchy:
+        ram = StorageTier(env, DRAM, 4 * MB)
+        pfs = StorageTier(env, PFS_DISK, 1e15, name="PFS")
+        hier = StorageHierarchy([ram], pfs)
+    mon = HardwareMonitor(env, config, queue, auditor, hierarchy=hier)
+    return env, mon, queue, auditor
+
+
+def test_daemons_consume_file_events_into_auditor():
+    env, mon, queue, auditor = make()
+    mon.start()
+    for i in range(5):
+        queue.push(FileEvent(EventType.READ, "/f", offset=i * MB, size=MB, timestamp=0.0))
+    env.run(until=1.0)
+    assert auditor.events_processed == 5
+    assert mon.file_events == 5
+    mon.stop()
+
+
+def test_event_processing_takes_service_time():
+    env, mon, queue, auditor = make(daemons=1, event_service_time=0.01, auditor_lock_time=0.0)
+    mon.start()
+    for i in range(4):
+        queue.push(FileEvent(EventType.READ, "/f", offset=0, size=MB))
+    env.run(until=0.035)
+    assert auditor.events_processed == 3  # 10ms each, serial daemon
+    mon.stop()
+
+
+def test_more_daemons_consume_faster():
+    def drain_time(daemons):
+        env, mon, queue, _aud = make(daemons=daemons, event_service_time=0.01)
+        mon.start()
+        for i in range(20):
+            queue.push(FileEvent(EventType.READ, "/f", offset=0, size=MB))
+        while queue.level > 0:
+            env.step()
+        mon.stop()
+        return env.now
+
+    assert drain_time(4) < drain_time(1)
+
+
+def test_capacity_events_update_tier_view():
+    env, mon, queue, _aud = make()
+    mon.start()
+    queue.push(CapacityEvent("RAM", free_bytes=123.0))
+    env.run(until=0.1)
+    assert mon.tier_free["RAM"] == 123.0
+    assert mon.capacity_events == 1
+    mon.stop()
+
+
+def test_capacity_watcher_reports_periodically():
+    env, mon, queue, _aud = make(hierarchy=True)
+    mon.capacity_report_interval = 0.5
+    mon.start()
+    env.run(until=1.6)
+    mon.stop()
+    assert mon.capacity_events >= 3  # three reports of the single tier
+    assert "RAM" in mon.tier_free
+
+
+def test_start_stop_idempotent():
+    env, mon, queue, _aud = make()
+    mon.start()
+    mon.start()
+    assert mon.running
+    mon.stop()
+    mon.stop()
+    assert not mon.running
+
+
+def test_consumption_rate_exposed():
+    env, mon, queue, _aud = make(daemons=2, event_service_time=0.001)
+    mon.start()
+    for i in range(50):
+        queue.push(FileEvent(EventType.READ, "/f", offset=0, size=MB))
+    while queue.level:
+        env.step()
+    assert mon.consumption_rate() > 0
+    mon.stop()

@@ -1,0 +1,205 @@
+"""Unit tests for Algorithm 1 and its triggers (repro.core.placement)."""
+
+import pytest
+
+from repro.core.auditor import FileSegmentAuditor
+from repro.core.config import HFetchConfig
+from repro.core.io_clients import IOClientPool
+from repro.core.placement import PlacementEngine
+from repro.events.types import EventType, FileEvent
+from repro.sim.core import Environment
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME, PFS_DISK
+from repro.storage.files import FileSystemModel
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.segments import SegmentKey
+from repro.storage.tier import StorageTier
+
+MB = 1 << 20
+
+
+def build(ram_cap=2 * MB, nvme_cap=4 * MB, bb_cap=8 * MB, file_mb=32, **cfg):
+    env = Environment()
+    config = HFetchConfig(
+        engine_interval=cfg.pop("engine_interval", 1000.0),
+        engine_update_threshold=cfg.pop("engine_update_threshold", 1 << 30),
+        **cfg,
+    )
+    fs = FileSystemModel(default_segment_size=MB)
+    fs.create("/f", file_mb * MB)
+    ram = StorageTier(env, DRAM, ram_cap)
+    nvme = StorageTier(env, NVME, nvme_cap)
+    bb = StorageTier(env, BURST_BUFFER, bb_cap)
+    pfs = StorageTier(env, PFS_DISK, 1e15, name="PFS")
+    hier = StorageHierarchy([ram, nvme, bb], pfs)
+    auditor = FileSegmentAuditor(config, fs)
+    auditor.start_epoch("/f")
+    io = IOClientPool(env, hier)
+    io.start()
+    engine = PlacementEngine(env, config, hier, auditor, io)
+    return env, engine, auditor, hier, io
+
+
+def touch(auditor, index, t, pid=0, times=1):
+    for i in range(times):
+        auditor.on_event(
+            FileEvent(EventType.READ, "/f", offset=index * MB, size=MB, timestamp=t + i * 0.001, pid=pid)
+        )
+
+
+def run_pass(env, engine):
+    env.process(engine.run_pass())
+    env.run()
+
+
+def test_hot_segment_lands_in_top_tier():
+    env, engine, auditor, hier, io = build()
+    touch(auditor, 0, t=0.0, times=5)
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 0)) is hier.tiers[0]
+    hier.check_invariants()
+
+
+def test_score_spectrum_maps_onto_tiers():
+    env, engine, auditor, hier, io = build(ram_cap=1 * MB, nvme_cap=1 * MB, bb_cap=1 * MB, lookahead_depth=0)
+    touch(auditor, 0, t=0.0, times=8)  # hottest
+    touch(auditor, 1, t=0.0, times=4)
+    touch(auditor, 2, t=0.0, times=2)
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 0)).name == "RAM"
+    assert hier.locate(SegmentKey("/f", 1)).name == "NVMe"
+    assert hier.locate(SegmentKey("/f", 2)).name == "BurstBuffer"
+    hier.check_invariants()
+
+
+def test_hotter_newcomer_demotes_colder_resident():
+    env, engine, auditor, hier, io = build(ram_cap=1 * MB, lookahead_depth=0)
+    touch(auditor, 1, t=0.0, times=2)
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 1)).name == "RAM"
+    # a much hotter segment arrives later
+    touch(auditor, 2, t=5.0, times=8)
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 2)).name == "RAM"
+    assert hier.locate(SegmentKey("/f", 1)).name == "NVMe"  # demoted, not evicted
+    assert engine.segments_demoted >= 1
+    hier.check_invariants()
+
+
+def test_colder_newcomer_sinks_below_full_tier():
+    env, engine, auditor, hier, io = build(ram_cap=1 * MB, lookahead_depth=0)
+    touch(auditor, 0, t=10.0, times=8)
+    run_pass(env, engine)
+    touch(auditor, 1, t=10.0, times=1)  # colder than the resident
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 0)).name == "RAM"
+    assert hier.locate(SegmentKey("/f", 1)).name == "NVMe"
+    hier.check_invariants()
+
+
+def test_epoch_filter_skips_closed_files():
+    env, engine, auditor, hier, io = build()
+    touch(auditor, 0, t=0.0)
+    auditor.end_epoch("/f")
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 0)) is None
+    assert engine.segments_placed == 0
+
+
+def test_lookahead_places_successors():
+    env, engine, auditor, hier, io = build(lookahead_depth=3, bb_cap=32 * MB)
+    touch(auditor, 0, t=0.0, times=3)
+    run_pass(env, engine)
+    # spatial successors of the hot segment were placed somewhere
+    placed = [hier.locate(SegmentKey("/f", i)) for i in (1, 2, 3)]
+    assert all(t is not None for t in placed)
+    # and the far one never outranks the near one
+    idx = [hier.tier_index(t) for t in placed]
+    assert idx == sorted(idx)
+
+
+def test_lookahead_follows_learned_successor_over_spatial():
+    env, engine, auditor, hier, io = build(lookahead_depth=1)
+    # teach: 5 is always followed by 9 (repetitive jump pattern)
+    for t in (0.0, 1.0, 2.0):
+        touch(auditor, 5, t=t)
+        touch(auditor, 9, t=t + 0.4)
+    auditor.drain_dirty()
+    touch(auditor, 5, t=3.0)
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 9)) is not None
+
+
+def test_count_trigger_fires_engine():
+    env, engine, auditor, hier, io = build(
+        engine_interval=1000.0, engine_update_threshold=3
+    )
+    engine.start()
+    touch(auditor, 0, t=0.0)
+    touch(auditor, 1, t=0.0)
+    touch(auditor, 2, t=0.0)
+    env.run(until=1.0)
+    assert engine.passes >= 1
+    engine.stop()
+
+
+def test_interval_trigger_fires_engine():
+    env, engine, auditor, hier, io = build(
+        engine_interval=0.5, engine_update_threshold=1 << 30
+    )
+    engine.start()
+    touch(auditor, 0, t=0.0)
+    env.run(until=2.0)
+    assert engine.passes >= 1
+    assert hier.locate(SegmentKey("/f", 0)) is not None
+    engine.stop()
+
+
+def test_moves_are_submitted_and_complete():
+    env, engine, auditor, hier, io = build()
+    touch(auditor, 0, t=0.0, times=2)
+    run_pass(env, engine)
+    env.run(until=env.now + 5.0)
+    assert io.moves_completed >= 1
+    assert io.backlog == 0
+
+
+def test_in_flight_serves_from_source():
+    env, engine, auditor, hier, io = build()
+    touch(auditor, 0, t=0.0, times=2)
+    # run the pass synchronously but do NOT let the io client finish
+    proc = env.process(engine.run_pass())
+    env.run(until=proc)
+    key = SegmentKey("/f", 0)
+    assert hier.locate(key) is not None  # ledger placed
+    assert io.serving_tier_name(key) == "PFS"  # still physically at origin
+    env.run(until=env.now + 5.0)
+    assert io.serving_tier_name(key) == hier.locate(key).name
+
+
+def test_invalidate_file_clears_engine_state():
+    env, engine, auditor, hier, io = build()
+    touch(auditor, 0, t=0.0, times=3)
+    run_pass(env, engine)
+    assert engine.invalidate_file("/f") >= 1
+    assert hier.locate(SegmentKey("/f", 0)) is None
+
+
+def test_demotion_hysteresis_prevents_equal_score_churn():
+    env, engine, auditor, hier, io = build(
+        ram_cap=1 * MB, lookahead_depth=0, demotion_hysteresis=1.25
+    )
+    touch(auditor, 0, t=0.0, times=3)
+    run_pass(env, engine)
+    # a segment with (nearly) the same score must NOT displace it
+    touch(auditor, 1, t=0.003, times=3)
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 0)).name == "RAM"
+    assert hier.locate(SegmentKey("/f", 1)).name == "NVMe"
+
+
+def test_zero_score_segments_not_placed():
+    env, engine, auditor, hier, io = build()
+    # dirty entry with no stats (e.g. seeded from a heatmap of a shrunk file)
+    auditor._dirty[SegmentKey("/f", 4)] = None
+    run_pass(env, engine)
+    assert hier.locate(SegmentKey("/f", 4)) is None

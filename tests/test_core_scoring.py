@@ -1,0 +1,119 @@
+"""Unit tests for Eq. 1 segment scoring (repro.core.scoring)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import batch_scores, score_half_life, segment_score
+
+
+def test_fresh_access_scores_one():
+    # (1/p)^0 == 1 regardless of p and n
+    assert segment_score([10.0], refs=1, now=10.0, p=2.0) == pytest.approx(1.0)
+
+
+def test_score_is_sum_over_accesses():
+    # two accesses at the current instant contribute 1 each
+    assert segment_score([5.0, 5.0], refs=2, now=5.0) == pytest.approx(2.0)
+
+
+def test_decay_matches_formula():
+    # age 3, n=1, p=2: (1/2)^3 = 0.125
+    assert segment_score([0.0], refs=1, now=3.0, p=2.0) == pytest.approx(0.125)
+
+
+def test_more_refs_decay_slower():
+    # same age; higher n divides the exponent
+    young = segment_score([0.0], refs=1, now=4.0, p=2.0)
+    durable = segment_score([0.0], refs=4, now=4.0, p=2.0)
+    assert durable > young
+    assert durable == pytest.approx(0.5)  # (1/2)^(4/4)
+
+
+def test_larger_p_decays_faster():
+    slow = segment_score([0.0], refs=1, now=2.0, p=2.0)
+    fast = segment_score([0.0], refs=1, now=2.0, p=8.0)
+    assert fast < slow
+
+
+def test_recent_accesses_dominate():
+    older = segment_score([0.0], refs=1, now=5.0)
+    newer = segment_score([4.0], refs=1, now=5.0)
+    assert newer > older
+
+
+def test_score_monotone_decreasing_in_time():
+    times = [0.0, 1.0, 2.0]
+    scores = [segment_score(times, refs=3, now=t) for t in (2.0, 3.0, 5.0, 10.0)]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_score_bounds():
+    # each term is in (0, 1], so 0 < score <= k
+    times = [0.0, 1.0, 2.5, 3.0]
+    s = segment_score(times, refs=4, now=6.0)
+    assert 0 < s <= len(times)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        segment_score([0.0], refs=1, now=1.0, p=1.5)  # p >= 2 per the paper
+    with pytest.raises(ValueError):
+        segment_score([0.0], refs=0, now=1.0)
+    with pytest.raises(ValueError):
+        segment_score([2.0], refs=1, now=1.0)  # future access
+
+
+def test_empty_history_scores_zero():
+    assert segment_score([], refs=1, now=5.0) == 0.0
+
+
+# ---------------------------------------------------------------- batching
+def test_batch_matches_scalar():
+    rng = np.random.default_rng(42)
+    now = 100.0
+    histories = [sorted(rng.uniform(0, 100, size=rng.integers(1, 8))) for _ in range(20)]
+    refs = [len(h) + int(rng.integers(0, 5)) for h in histories]
+    ages, ref_rows, rows = [], [], []
+    for i, (h, n) in enumerate(zip(histories, refs)):
+        for t in h:
+            ages.append(now - t)
+            ref_rows.append(n)
+            rows.append(i)
+    batch = batch_scores(np.array(ages), np.array(ref_rows), np.array(rows), 20, p=2.0)
+    for i, (h, n) in enumerate(zip(histories, refs)):
+        assert batch[i] == pytest.approx(segment_score(h, n, now, 2.0))
+
+
+def test_batch_empty_input():
+    out = batch_scores(np.array([]), np.array([]), np.array([]), 5)
+    assert out.shape == (5,) and (out == 0).all()
+
+
+def test_batch_validation():
+    with pytest.raises(ValueError):
+        batch_scores(np.array([1.0]), np.array([1.0, 2.0]), np.array([0]), 1)
+    with pytest.raises(ValueError):
+        batch_scores(np.array([-1.0]), np.array([1.0]), np.array([0]), 1)
+    with pytest.raises(ValueError):
+        batch_scores(np.array([1.0]), np.array([0.0]), np.array([0]), 1)
+    with pytest.raises(ValueError):
+        batch_scores(np.array([1.0]), np.array([1.0]), np.array([0]), 1, p=1.0)
+
+
+def test_half_life_formula():
+    # n=1, p=2: half-life is exactly 1 time unit
+    assert score_half_life(1, 2.0) == pytest.approx(1.0)
+    # doubling n doubles the half-life
+    assert score_half_life(2, 2.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        score_half_life(0)
+    with pytest.raises(ValueError):
+        score_half_life(1, 1.0)
+
+
+def test_half_life_consistent_with_score():
+    hl = score_half_life(3, 4.0)
+    s = segment_score([0.0], refs=3, now=hl, p=4.0)
+    assert s == pytest.approx(0.5)

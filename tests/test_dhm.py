@@ -1,0 +1,157 @@
+"""Unit tests for the distributed hash map substrate (repro.dhm)."""
+
+import pytest
+
+from repro.dhm.hashmap import DistributedHashMap, OpCost
+from repro.dhm.partition import KeyPartitioner
+from repro.dhm.wal import WriteAheadLog
+
+
+# ------------------------------------------------------------- partitioner
+def test_partitioner_validation():
+    with pytest.raises(ValueError):
+        KeyPartitioner(0)
+    with pytest.raises(ValueError):
+        KeyPartitioner(2, virtual_nodes=0)
+
+
+def test_partitioner_stable_assignment():
+    p = KeyPartitioner(8)
+    q = KeyPartitioner(8)
+    keys = [("file", i) for i in range(100)]
+    assert [p.shard_of(k) for k in keys] == [q.shard_of(k) for k in keys]
+
+
+def test_partitioner_single_shard():
+    p = KeyPartitioner(1)
+    assert all(p.shard_of(("k", i)) == 0 for i in range(20))
+
+
+def test_partitioner_spreads_load():
+    p = KeyPartitioner(8, virtual_nodes=128)
+    hist = p.distribution([("f", i) for i in range(4000)])
+    assert len([s for s, n in hist.items() if n > 0]) == 8
+    assert max(hist.values()) < 4000 * 0.5  # no shard hogs half the keys
+
+
+def test_partitioner_consistency_on_growth():
+    # growing the ring relocates only a fraction of keys
+    small = KeyPartitioner(4, virtual_nodes=128)
+    large = KeyPartitioner(5, virtual_nodes=128)
+    keys = [("f", i) for i in range(2000)]
+    moved = sum(1 for k in keys if small.shard_of(k) != large.shard_of(k))
+    assert moved < len(keys) * 0.6  # far from a full rehash
+
+
+# --------------------------------------------------------------------- map
+def test_map_put_get_delete():
+    m = DistributedHashMap(shards=4)
+    m.put("a", 1)
+    assert m.get("a") == 1
+    assert "a" in m
+    assert m.delete("a")
+    assert not m.delete("a")
+    assert m.get("a", default="gone") == "gone"
+
+
+def test_map_update_atomic_rmw():
+    m = DistributedHashMap(shards=4)
+    for _ in range(10):
+        m.update("counter", lambda v: (v or 0) + 1)
+    assert m.get("counter") == 10
+    assert m.updates == 10
+
+
+def test_map_update_returns_new_value():
+    m = DistributedHashMap(shards=2)
+    assert m.update("k", lambda v: (v or 0) + 5) == 5
+
+
+def test_map_len_and_iteration():
+    m = DistributedHashMap(shards=4)
+    for i in range(20):
+        m.put(("k", i), i)
+    assert len(m) == 20
+    assert sorted(v for _k, v in m.items()) == list(range(20))
+    assert len(list(m.keys())) == 20
+
+
+def test_map_cost_model_local_vs_remote():
+    cost = OpCost(local=1e-6, remote=1e-3)
+    m = DistributedHashMap(shards=4, cost=cost)
+    key = "some-key"
+    home = m.shard_of(key)
+    m.get(key, from_shard=home)
+    local_cost = m.total_cost
+    m.get(key, from_shard=(home + 1) % 4)
+    assert m.total_cost - local_cost == pytest.approx(cost.remote)
+    assert m.local_ops == 1 and m.remote_ops == 1
+
+
+def test_map_snapshot_and_restore():
+    m = DistributedHashMap(shards=4)
+    for i in range(10):
+        m.put(("k", i), i * i)
+    snap = m.snapshot()
+    m2 = DistributedHashMap(shards=2)
+    m2.restore(snap)
+    assert len(m2) == 10
+    assert m2.get(("k", 3)) == 9
+
+
+# --------------------------------------------------------------------- WAL
+def test_wal_recovers_puts_and_deletes():
+    wal = WriteAheadLog()
+    wal.log_put("a", 1)
+    wal.log_put("b", 2)
+    wal.log_delete("a")
+    state = wal.recover()
+    assert state == {"b": 2}
+
+
+def test_wal_checkpoint_supersedes_earlier_records():
+    wal = WriteAheadLog()
+    wal.log_put("old", 1)
+    wal.checkpoint({"fresh": 42})
+    wal.log_put("later", 3)
+    assert wal.recover() == {"fresh": 42, "later": 3}
+
+
+def test_wal_file_backed_survives_reopen(tmp_path):
+    path = tmp_path / "map.wal"
+    with WriteAheadLog(path) as wal:
+        wal.log_put("persist", "yes")
+        wal.flush()
+    replay = WriteAheadLog(path)
+    assert replay.recover() == {"persist": "yes"}
+    replay.close()
+
+
+def test_wal_torn_tail_ignored(tmp_path):
+    path = tmp_path / "torn.wal"
+    with WriteAheadLog(path) as wal:
+        wal.log_put("good", 1)
+        wal.flush()
+    # simulate a power-down mid-append
+    with open(path, "ab") as fh:
+        fh.write(b"P\x40\x00")  # truncated length header
+    replay = WriteAheadLog(path)
+    assert replay.recover() == {"good": 1}
+    replay.close()
+
+
+def test_map_with_wal_end_to_end_recovery():
+    wal = WriteAheadLog()
+    m = DistributedHashMap(shards=4, wal=wal)
+    m.put("x", 1)
+    m.update("x", lambda v: v + 1)
+    m.put("y", 5)
+    m.delete("y")
+    m.checkpoint()
+    m.put("z", 9)
+    # power-down: rebuild from the log alone
+    reborn = DistributedHashMap(shards=4)
+    reborn.restore(wal.recover())
+    assert reborn.get("x") == 2
+    assert reborn.get("y") is None
+    assert reborn.get("z") == 9

@@ -1,0 +1,103 @@
+"""Unit tests for the simulated namespace (repro.storage.files)."""
+
+import pytest
+
+from repro.storage.files import FileSystemModel, SimFile
+from repro.storage.segments import SegmentKey
+
+MB = 1 << 20
+
+
+def test_simfile_validation():
+    with pytest.raises(ValueError):
+        SimFile("f", -1, MB)
+    with pytest.raises(ValueError):
+        SimFile("f", MB, 0)
+
+
+def test_num_segments_rounds_up():
+    assert SimFile("f", int(2.5 * MB), MB).num_segments == 3
+
+
+def test_segments_iterator_in_order():
+    f = SimFile("f", 3 * MB, MB)
+    assert [k.index for k in f.segments()] == [0, 1, 2]
+
+
+def test_segment_key_bounds_checked():
+    f = SimFile("f", 2 * MB, MB)
+    with pytest.raises(IndexError):
+        f.segment_key(2)
+
+
+def test_segment_bytes_tail_segment_short():
+    f = SimFile("f", int(1.5 * MB), MB)
+    assert f.segment_bytes(SegmentKey("f", 1)) == MB // 2
+
+
+def test_segment_bytes_foreign_key_rejected():
+    f = SimFile("f", MB, MB)
+    with pytest.raises(ValueError):
+        f.segment_bytes(SegmentKey("g", 0))
+
+
+def test_read_segments_clips_to_eof():
+    f = SimFile("f", 2 * MB, MB)
+    keys = f.read_segments(int(1.5 * MB), 5 * MB)
+    assert [k.index for k in keys] == [1]
+
+
+def test_read_segments_past_eof_empty():
+    f = SimFile("f", MB, MB)
+    assert f.read_segments(2 * MB, MB) == []
+
+
+def test_default_origin_is_pfs():
+    assert SimFile("f", MB, MB).origin == "PFS"
+
+
+def test_fs_create_get_exists_remove():
+    fs = FileSystemModel()
+    fs.create("/a", MB)
+    assert fs.exists("/a") and "/a" in fs
+    assert fs.get("/a").size == MB
+    fs.remove("/a")
+    assert not fs.exists("/a")
+
+
+def test_fs_duplicate_create_rejected():
+    fs = FileSystemModel()
+    fs.create("/a", MB)
+    with pytest.raises(FileExistsError):
+        fs.create("/a", MB)
+
+
+def test_fs_missing_file_errors():
+    fs = FileSystemModel()
+    with pytest.raises(FileNotFoundError):
+        fs.get("/missing")
+    with pytest.raises(FileNotFoundError):
+        fs.remove("/missing")
+
+
+def test_fs_default_segment_size_applied():
+    fs = FileSystemModel(default_segment_size=2 * MB)
+    f = fs.create("/a", 4 * MB)
+    assert f.segment_size == 2 * MB
+    g = fs.create("/b", 4 * MB, segment_size=MB)
+    assert g.segment_size == MB
+
+
+def test_fs_origin_recorded():
+    fs = FileSystemModel()
+    f = fs.create("/staged", MB, origin="BurstBuffer")
+    assert f.origin == "BurstBuffer"
+
+
+def test_fs_totals():
+    fs = FileSystemModel()
+    fs.create("/a", MB)
+    fs.create("/b", 2 * MB)
+    assert len(fs) == 2
+    assert fs.total_bytes == 3 * MB
+    assert [f.file_id for f in fs.files()] == ["/a", "/b"]

@@ -1,0 +1,149 @@
+"""Write-path tests: consistency invalidation end-to-end (paper §III-B)."""
+
+import pytest
+
+from repro.core.config import HFetchConfig
+from repro.core.prefetcher import HFetchPrefetcher
+from repro.prefetchers.none import NoPrefetcher
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster, TierSpec
+from repro.runtime.runner import WorkflowRunner
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.storage.segments import SegmentKey
+from repro.workloads.spec import (
+    AppSpec,
+    FileDecl,
+    ProcessSpec,
+    ReadOp,
+    StepSpec,
+    WorkloadSpec,
+)
+
+MB = 1 << 20
+
+
+def cluster(ranks=8):
+    return SimulatedCluster(
+        ClusterSpec(
+            tiers=(
+                TierSpec(DRAM, 16 * MB),
+                TierSpec(NVME, 32 * MB),
+                TierSpec(BURST_BUFFER, 64 * MB),
+            )
+        ).scaled_for(ranks)
+    )
+
+
+def test_step_writes_counted_and_charged():
+    wl = WorkloadSpec(
+        "writer",
+        [FileDecl("/out", 8 * MB)],
+        [
+            ProcessSpec(
+                pid=0,
+                app="w",
+                steps=(
+                    StepSpec(0.01, reads=(), writes=(ReadOp("/out", 0, 2 * MB),)),
+                ),
+            )
+        ],
+    )
+    cl = cluster(1)
+    runner = WorkflowRunner(cl, wl, NoPrefetcher())
+    result = runner.run()
+    assert runner.metrics.bytes_written == 2 * MB
+    assert cl.hierarchy.backing.writes == 1
+
+
+def test_in_epoch_write_invalidates_prefetched_data():
+    # reader holds the file open while a writer rewrites it: the watch
+    # sees the write event and HFetch evicts the stale prefetched copies
+    reader_steps = tuple(
+        StepSpec(0.1, reads=(ReadOp("/data", 0, 2 * MB),)) for _ in range(8)
+    )
+    writer_steps = (
+        StepSpec(0.35, reads=(), writes=(ReadOp("/data", 0, MB),)),
+    )
+    wl = WorkloadSpec(
+        "rw",
+        [FileDecl("/data", 8 * MB)],
+        [
+            ProcessSpec(pid=0, app="reader", steps=reader_steps),
+            ProcessSpec(pid=1, app="writer", steps=writer_steps),
+        ],
+    )
+    cl = cluster(2)
+    pf = HFetchPrefetcher(HFetchConfig(engine_interval=0.02, engine_update_threshold=2))
+    WorkflowRunner(cl, wl, pf).run()
+    assert pf.server.auditor.invalidations >= 1
+
+
+def test_unwatched_write_invalidates_at_next_open():
+    # the write lands AFTER the only reader closed (no watch, no event);
+    # the stat-on-open check of the next epoch must catch it
+    wl = WorkloadSpec(
+        "rw2",
+        [FileDecl("/data", 8 * MB)],
+        [
+            ProcessSpec(
+                pid=0,
+                app="reader1",
+                steps=(StepSpec(0.01, reads=(ReadOp("/data", 0, 2 * MB),)),),
+            ),
+            ProcessSpec(
+                pid=1,
+                app="writer",
+                steps=(StepSpec(0.0, reads=(), writes=(ReadOp("/data", 0, MB),)),),
+                start_delay=0.5,
+            ),
+            ProcessSpec(
+                pid=2,
+                app="reader2",
+                steps=(StepSpec(0.01, reads=(ReadOp("/data", 0, 2 * MB),)),),
+                start_delay=1.0,
+            ),
+        ],
+    )
+    cl = cluster(4)
+    pf = HFetchPrefetcher(HFetchConfig(engine_interval=0.02, engine_update_threshold=2))
+    WorkflowRunner(cl, wl, pf).run()
+    # reader2's open performed the stat check and invalidated stale data
+    assert pf.server.auditor.invalidations >= 1
+    assert cl.fs.get("/data").version == 1
+
+
+def test_producer_consumer_pipeline_with_writes():
+    producer = ProcessSpec(
+        pid=0,
+        app="producer",
+        steps=(StepSpec(0.01, reads=(), writes=(ReadOp("/stage", 0, 4 * MB),)),),
+    )
+    consumers = [
+        ProcessSpec(
+            pid=1 + i,
+            app="consumer",
+            steps=(StepSpec(0.05, reads=(ReadOp("/stage", i * 2 * MB, 2 * MB),)),),
+        )
+        for i in range(2)
+    ]
+    wl = WorkloadSpec(
+        "pipeline",
+        [FileDecl("/stage", 8 * MB, origin="BurstBuffer")],
+        [producer] + consumers,
+        apps=[AppSpec("producer"), AppSpec("consumer", depends_on=("producer",))],
+    )
+    result = WorkflowRunner(
+        cluster(4), wl, HFetchPrefetcher(HFetchConfig(engine_interval=0.02))
+    ).run()
+    assert result.hits + result.misses == 4  # consumers' segments
+
+
+def test_files_written_property():
+    p = ProcessSpec(
+        pid=0,
+        app="a",
+        steps=(
+            StepSpec(0.0, reads=(ReadOp("in", 0, MB),), writes=(ReadOp("out", 0, MB),)),
+        ),
+    )
+    assert p.files_written == ("out",)
+    assert p.bytes_written == MB
