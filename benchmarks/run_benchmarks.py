@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Run the simulator performance suite and track perf-regression baselines.
+
+Executes ``benchmarks/test_simulator_performance.py`` under
+pytest-benchmark, writes the raw statistics to ``BENCH_<label>.json`` in
+the repository root, and prints a per-test median comparison against
+
+* every other ``BENCH_*.json`` found in the repository root (earlier
+  PRs' baselines), and
+* the ``baseline_before`` block embedded in the target file, if present
+  (the medians measured on the pre-optimisation code, preserved across
+  re-runs so the speedup this PR bought stays visible).
+
+Usage::
+
+    python benchmarks/run_benchmarks.py               # writes BENCH_PR1.json
+    python benchmarks/run_benchmarks.py --label PR2   # writes BENCH_PR2.json
+    python benchmarks/run_benchmarks.py -k kernel     # subset of the suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SUITE = "benchmarks/test_simulator_performance.py"
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """``{test name: median seconds}`` from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    return {b["name"]: b["stats"]["median"] for b in data.get("benchmarks", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="PR1", help="suffix of BENCH_<label>.json")
+    parser.add_argument("-k", default=None, help="pytest -k expression (subset)")
+    args = parser.parse_args(argv)
+
+    target = ROOT / f"BENCH_{args.label}.json"
+    # preserve any embedded before-measurements across re-runs
+    baseline_before = None
+    if target.exists():
+        try:
+            baseline_before = json.loads(target.read_text()).get("baseline_before")
+        except (json.JSONDecodeError, OSError):
+            pass
+
+    cmd = [
+        sys.executable, "-m", "pytest", SUITE,
+        f"--benchmark-json={target}", "-q",
+    ]
+    if args.k:
+        cmd += ["-k", args.k]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    rc = subprocess.call(cmd, cwd=ROOT, env=env)
+    if rc != 0 or not target.exists():
+        print(f"benchmark run failed (exit {rc})", file=sys.stderr)
+        return rc or 1
+
+    if baseline_before is not None:
+        data = json.loads(target.read_text())
+        data["baseline_before"] = baseline_before
+        target.write_text(json.dumps(data, indent=2))
+
+    current = load_medians(target)
+    references: dict[str, dict[str, float]] = {}
+    if baseline_before:
+        references["before (pre-optimisation)"] = baseline_before
+    for other in sorted(ROOT.glob("BENCH_*.json")):
+        if other != target:
+            references[other.name] = load_medians(other)
+
+    print(f"\n=== {target.name}: medians ===")
+    for name, median in sorted(current.items()):
+        print(f"  {name}: {median * 1e3:.3f} ms")
+    for ref_name, medians in references.items():
+        print(f"\n=== vs {ref_name} ===")
+        for name, median in sorted(current.items()):
+            ref = medians.get(name)
+            if ref is None or median <= 0:
+                continue
+            print(
+                f"  {name}: {ref * 1e3:.3f} ms -> {median * 1e3:.3f} ms"
+                f"  ({ref / median:.2f}x)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

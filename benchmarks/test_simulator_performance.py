@@ -68,8 +68,7 @@ def test_pipe_transfer_throughput(benchmark):
     benchmark(run)
 
 
-def test_auditor_event_fold_rate(benchmark):
-    """Folding 10k enriched read events into segment statistics."""
+def _fold_events():
     config = HFetchConfig()
     fs = FileSystemModel(default_segment_size=MB)
     fs.create("/bench", 1 << 30)
@@ -78,6 +77,24 @@ def test_auditor_event_fold_rate(benchmark):
                   timestamp=i * 1e-4, pid=i % 64)
         for i in range(10_000)
     ]
+    return config, fs, events
+
+
+def test_auditor_event_fold_rate(benchmark):
+    """Folding 10k enriched read events via the batched fast path."""
+    config, fs, events = _fold_events()
+
+    def run():
+        auditor = FileSegmentAuditor(config, fs)
+        auditor.on_events(events)
+        auditor.drain_dirty()
+
+    benchmark(run)
+
+
+def test_auditor_event_fold_rate_per_event(benchmark):
+    """The same 10k-event fold through the legacy per-event path."""
+    config, fs, events = _fold_events()
 
     def run():
         auditor = FileSegmentAuditor(config, fs)

@@ -57,6 +57,11 @@ class FileSegmentAuditor:
         # of ranks into one chain would corrupt the logical map of
         # connected segments the engine walks for lookahead.
         self._last_segment: dict[tuple[str, int], SegmentKey] = {}
+        # Per-file indexes (ordered de-dup dicts) so write invalidation
+        # and epoch teardown touch only the written file's records
+        # instead of scanning every key in the map / every stream.
+        self._file_keys: dict[str, dict[SegmentKey, None]] = {}
+        self._file_streams: dict[str, dict[tuple[str, int], None]] = {}
         # dirty vector (ordered de-dup) for the placement engine
         self._dirty: dict[SegmentKey, None] = {}
         # segment home node: node of the first accessor
@@ -69,6 +74,7 @@ class FileSegmentAuditor:
         self.invalidate_hook: Optional[Callable[[str], None]] = None
         # instrumentation
         self.events_processed = 0
+        self.batched_events = 0
         self.score_updates = 0
         self.invalidations = 0
         self.dirty_dropped = 0
@@ -104,8 +110,8 @@ class FileSegmentAuditor:
         count = self._epochs.get(file_id, 0)
         if count <= 1:
             self._epochs.pop(file_id, None)
-            for stream in [s for s in self._last_segment if s[0] == file_id]:
-                del self._last_segment[stream]
+            for stream in self._file_streams.pop(file_id, ()):
+                self._last_segment.pop(stream, None)
             if self.config.persist_heatmaps and self.fs.exists(file_id):
                 self.heatmaps.save(self.build_heatmap(file_id, now))
             return True
@@ -130,10 +136,14 @@ class FileSegmentAuditor:
         handed to the engine as placement candidates right away.
         """
         f = self.fs.get(file_id)
+        num_segments = f.num_segments
+        scores = heatmap.scores
+        # hottest() selects the top k via argpartition — O(n) in the
+        # heatmap length rather than a full sort per re-open.
         for index in heatmap.hottest(k=min(heatmap.num_segments, 1024)):
-            if heatmap.temperature(index) <= 0:
+            if scores[index] <= 0:
                 break
-            if index < f.num_segments:
+            if index < num_segments:
                 self._dirty[SegmentKey(file_id, index)] = None
 
     # -- event consumption (called by the hardware monitor's daemons) ---------------
@@ -146,6 +156,151 @@ class FileSegmentAuditor:
             self._on_write(event)
         # OPEN/CLOSE epochs are driven by the agent manager, which sees
         # the open flags; the raw events carry no extra information here.
+
+    def on_events(self, events: Iterable[FileEvent]) -> int:
+        """Fold a batch of enriched events through the shard-local fast path.
+
+        Semantically equivalent to calling :meth:`on_event` on each event
+        in order — identical statistics, sequencing links, dirty-vector
+        content/order, invalidation ordering and cost accounting — with
+        the per-event overhead amortised across the batch:
+
+        * segment statistics are mutated in place on their shard (no
+          per-access closure allocation, one aggregated DHM charge per
+          batch via :meth:`~repro.dhm.hashmap.DistributedHashMap.charge_batch`);
+        * file records are resolved once per file, not once per event;
+        * update listeners are notified once per batch (the post-batch
+          flush) instead of once per score update.
+
+        Returns the number of events folded.
+        """
+        fs = self.fs
+        config = self.config
+        stats_map = self.stats_map
+        nshards = stats_map.shards
+        shard_of = stats_map.shard_of
+        local_shard = stats_map.local_shard
+        wal = stats_map.wal
+        dirty = self._dirty
+        dirty_cap = config.dirty_vector_capacity
+        max_history = config.max_history
+        last_segment = self._last_segment
+        home_node = self._home_node
+        file_keys = self._file_keys
+        file_streams = self._file_streams
+        READ = EventType.READ
+        WRITE = EventType.WRITE
+        # file_id -> (file, segment_size, last_index, last_nbytes) | None
+        files: dict[str, Optional[tuple]] = {}
+        processed = 0
+        score_updates = 0
+        dirty_dropped = 0
+        n_updates = 0
+        n_gets = 0
+        n_local = 0
+        n_remote = 0
+
+        for event in events:
+            processed += 1
+            etype = event.etype
+            if etype is READ:
+                fid = event.file_id
+                info = files.get(fid, False)
+                if info is False:
+                    if fs.exists(fid):
+                        f = fs.get(fid)
+                        last_index = f.num_segments - 1
+                        info = (
+                            f,
+                            f.segment_size,
+                            last_index,
+                            f.segment_bytes(SegmentKey(fid, last_index))
+                            if last_index >= 0
+                            else 0,
+                        )
+                    else:
+                        info = None
+                    files[fid] = info
+                if info is None:
+                    continue
+                f, seg_size, last_index, last_nbytes = info
+                first, last = f.segment_span(event.offset, event.size)
+                if last < first:
+                    continue
+                stream = (fid, event.pid)
+                prev = last_segment.get(stream)
+                when = event.timestamp
+                node = event.node
+                node_shard = node % nshards
+                for index in range(first, last + 1):
+                    key = SegmentKey(fid, index)
+                    sid = 0 if nshards == 1 else shard_of(key)
+                    shard = local_shard(sid)
+                    stats = shard.get(key)
+                    if stats is None:
+                        stats = SegmentStats(
+                            key=key,
+                            nbytes=seg_size if index < last_index else last_nbytes,
+                            max_history=max_history,
+                        )
+                        shard[key] = stats
+                        fkeys = file_keys.get(fid)
+                        if fkeys is None:
+                            file_keys[fid] = fkeys = {}
+                        fkeys[key] = None
+                    stats.record(when, prev)
+                    n_updates += 1
+                    if node_shard == sid:
+                        n_local += 1
+                    else:
+                        n_remote += 1
+                    if wal is not None:
+                        wal.log_put(key, stats)
+                    if prev is not None and prev != key:
+                        # sequencing link on the predecessor — charged like
+                        # the per-event path: one local get, plus one local
+                        # update when the record exists
+                        psid = 0 if nshards == 1 else shard_of(prev)
+                        prev_stats = local_shard(psid).get(prev)
+                        n_gets += 1
+                        n_local += 1
+                        if prev_stats is not None:
+                            prev_stats.link_successor(key)
+                            n_updates += 1
+                            n_local += 1
+                            if wal is not None:
+                                wal.log_put(prev, prev_stats)
+                    if key not in home_node:
+                        home_node[key] = node
+                    if key in dirty or len(dirty) < dirty_cap:
+                        dirty[key] = None
+                    else:
+                        dirty_dropped += 1
+                    score_updates += 1
+                    prev = key
+                last_segment[stream] = prev
+                fstreams = file_streams.get(fid)
+                if fstreams is None:
+                    file_streams[fid] = fstreams = {}
+                fstreams[stream] = None
+            elif etype is WRITE:
+                self._on_write(event)
+            # OPEN/CLOSE: epochs are driven by the agent manager (below).
+
+        # -- post-batch flush ----------------------------------------------
+        self.events_processed += processed
+        self.batched_events += processed
+        self.dirty_dropped += dirty_dropped
+        if n_updates or n_gets:
+            stats_map.charge_batch(
+                local_ops=n_local, remote_ops=n_remote, gets=n_gets, updates=n_updates
+            )
+        if score_updates:
+            self.score_updates += score_updates
+            count = self.score_updates
+            for listener in self._update_listeners:
+                listener(count)
+        return processed
 
     def _on_read(self, event: FileEvent) -> None:
         if not self.fs.exists(event.file_id):
@@ -160,6 +315,7 @@ class FileSegmentAuditor:
             prev = key
         if keys:
             self._last_segment[stream] = keys[-1]
+            self._file_streams.setdefault(event.file_id, {})[stream] = None
 
     def _record_access(
         self,
@@ -172,6 +328,7 @@ class FileSegmentAuditor:
         def _update(stats: Optional[SegmentStats]) -> SegmentStats:
             if stats is None:
                 stats = SegmentStats(key=key, nbytes=nbytes, max_history=self.config.max_history)
+                self._file_keys.setdefault(key.file_id, {})[key] = None
             stats.record(when, prev)
             return stats
 
@@ -204,13 +361,16 @@ class FileSegmentAuditor:
 
     def _invalidate(self, file_id: str) -> None:
         self.invalidations += 1
-        # Drop statistics of the written file — its content changed.
-        for key in list(self.stats_map.keys()):
-            if isinstance(key, SegmentKey) and key.file_id == file_id:
-                self.stats_map.delete(key)
-        for stream in [s for s in self._last_segment if s[0] == file_id]:
-            del self._last_segment[stream]
-        self._dirty = {k: None for k in self._dirty if k.file_id != file_id}
+        # Drop statistics of the written file — its content changed.  The
+        # per-file key index makes this O(segments-of-the-file) instead of
+        # a scan over every key of every file in the map.
+        for key in self._file_keys.pop(file_id, ()):
+            self.stats_map.delete(key)
+        for stream in self._file_streams.pop(file_id, ()):
+            self._last_segment.pop(stream, None)
+        stale = [k for k in self._dirty if k.file_id == file_id]
+        for k in stale:
+            del self._dirty[k]
         if self.invalidate_hook is not None:
             self.invalidate_hook(file_id)
 
@@ -242,8 +402,14 @@ class FileSegmentAuditor:
         return len(self._dirty)
 
     def batch_score(self, keys: Iterable[SegmentKey], now: float) -> np.ndarray:
-        """Vectorised scores for ``keys`` under the configured model."""
-        stats_list = [self.stats_map.get(key) for key in keys]
+        """Vectorised scores for ``keys`` under the configured model.
+
+        Stats are fetched through the DHM's bulk shard-local path — one
+        aggregated charge instead of one charged ``get`` per key, so a
+        full-file :meth:`build_heatmap` no longer pays per-segment DHM
+        overhead.
+        """
+        stats_list = self.stats_map.get_many(keys)
         return self.scoring_model.batch(stats_list, now, self.config.decay_base)
 
     def build_heatmap(self, file_id: str, now: float) -> FileHeatmap:

@@ -46,12 +46,25 @@ class FileHeatmap:
         return int(self.scores.size)
 
     def hottest(self, k: int = 1) -> list[int]:
-        """Indices of the ``k`` hottest segments, hottest first."""
+        """Indices of the ``k`` hottest segments, hottest first.
+
+        Top-k selection via ``argpartition`` — O(n) to isolate the k
+        hottest plus O(k log k) to order them, instead of a full
+        O(n log n) sort.  Ties are broken arbitrarily (as before).
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
-        k = min(k, self.scores.size)
-        order = np.argsort(self.scores)[::-1]
-        return [int(i) for i in order[:k]]
+        scores = self.scores
+        n = scores.size
+        k = min(k, n)
+        if k == 0:
+            return []
+        if k < n:
+            top = np.argpartition(scores, n - k)[n - k :]
+        else:
+            top = np.arange(n)
+        order = top[np.argsort(scores[top])[::-1]]
+        return [int(i) for i in order]
 
     def temperature(self, index: int) -> float:
         """Score of one segment (0.0 outside the vector)."""

@@ -63,6 +63,12 @@ class DistributedHashMap:
         self.cost = cost
         self.wal = wal
         self._shards: list[dict[Hashable, Any]] = [dict() for _ in range(shards)]
+        # Memoised ring lookups: ``KeyPartitioner.shard_of`` hashes the
+        # key's repr through crc32 twice per call, which dominates the
+        # per-op cost on hot paths.  The ring never changes after
+        # construction, so the mapping is safe to cache forever (memory
+        # is bounded by the distinct keys ever touched).
+        self._shard_ids: dict[Hashable, int] = {}
         # instrumentation
         self.gets = 0
         self.puts = 0
@@ -79,11 +85,16 @@ class DistributedHashMap:
         return len(self._shards)
 
     def shard_of(self, key: Hashable) -> int:
-        """Shard id owning ``key``."""
-        return self.partitioner.shard_of(key)
+        """Shard id owning ``key`` (memoised ring lookup)."""
+        if len(self._shards) == 1:
+            return 0
+        sid = self._shard_ids.get(key)
+        if sid is None:
+            self._shard_ids[key] = sid = self.partitioner.shard_of(key)
+        return sid
 
     def _charge(self, key: Hashable, from_shard: Optional[int]) -> dict:
-        shard_id = self.partitioner.shard_of(key)
+        shard_id = self.shard_of(key)
         is_local = from_shard is None or from_shard == shard_id
         self.total_cost += self.cost.of(is_local)
         if is_local:
@@ -142,6 +153,98 @@ class DistributedHashMap:
         self.gets += 1
         return key in self._charge(key, from_shard)
 
+    # -- charged bulk fast paths ---------------------------------------------------
+    def get_many(
+        self,
+        keys: Iterable[Hashable],
+        default: Any = None,
+        from_shard: Optional[int] = None,
+    ) -> list[Any]:
+        """Bulk :meth:`get`: one aggregated charge for the whole batch.
+
+        Latency-equivalent to ``[self.get(k, default, from_shard) for k
+        in keys]`` but the per-op Python overhead (method dispatch, cost
+        bookkeeping) is paid once per batch instead of once per key.
+        """
+        shards = self._shards
+        single = len(shards) == 1
+        shard_of = self.shard_of
+        out = []
+        local = remote = 0
+        for key in keys:
+            sid = 0 if single else shard_of(key)
+            if from_shard is None or from_shard == sid:
+                local += 1
+            else:
+                remote += 1
+            out.append(shards[sid].get(key, default))
+        self.charge_batch(local_ops=local, remote_ops=remote, gets=len(out))
+        return out
+
+    def update_many(
+        self,
+        keys: Iterable[Hashable],
+        fn: Callable[[Hashable, Any], Any],
+        default: Any = None,
+        from_shard: Optional[int] = None,
+    ) -> list[Any]:
+        """Bulk atomic read-modify-write with one aggregated charge.
+
+        Unlike :meth:`update`, ``fn`` receives ``(key, current)`` so one
+        shared function can serve the whole batch without allocating a
+        closure per key.  Each key's application is still an indivisible
+        shard-local step; results are returned in input order.
+        """
+        shards = self._shards
+        single = len(shards) == 1
+        shard_of = self.shard_of
+        wal = self.wal
+        out = []
+        local = remote = 0
+        for key in keys:
+            sid = 0 if single else shard_of(key)
+            if from_shard is None or from_shard == sid:
+                local += 1
+            else:
+                remote += 1
+            shard = shards[sid]
+            new_value = fn(key, shard.get(key, default))
+            shard[key] = new_value
+            if wal is not None:
+                wal.log_put(key, new_value)
+            out.append(new_value)
+        self.charge_batch(local_ops=local, remote_ops=remote, updates=len(out))
+        return out
+
+    def local_shard(self, shard_id: int) -> dict:
+        """Direct handle to one shard's dict for uncharged bulk folds.
+
+        This is the raw half of the bulk protocol: a caller that mutates
+        records through this handle (the auditor's batched event fold)
+        must account the traffic itself via :meth:`charge_batch`, and
+        must write its own WAL entries when :attr:`wal` is set.
+        """
+        return self._shards[shard_id]
+
+    def charge_batch(
+        self,
+        local_ops: int = 0,
+        remote_ops: int = 0,
+        *,
+        gets: int = 0,
+        puts: int = 0,
+        updates: int = 0,
+        deletes: int = 0,
+    ) -> None:
+        """Account a batch of operations performed through :meth:`local_shard`."""
+        self.gets += gets
+        self.puts += puts
+        self.updates += updates
+        self.deletes += deletes
+        self.local_ops += local_ops
+        self.remote_ops += remote_ops
+        self.total_cost += local_ops * self.cost.local + remote_ops * self.cost.remote
+
     # -- bulk / scan (uncharged admin operations) ----------------------------------
     def keys(self) -> Iterable[Hashable]:
         """All keys across shards (admin/diagnostic scan)."""
@@ -170,13 +273,13 @@ class DistributedHashMap:
         for shard in self._shards:
             shard.clear()
         for key, value in state.items():
-            self._shards[self.partitioner.shard_of(key)][key] = value
+            self._shards[self.shard_of(key)][key] = value
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._shards)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._shards[self.partitioner.shard_of(key)]
+        return key in self._shards[self.shard_of(key)]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DistributedHashMap shards={self.shards} size={len(self)}>"

@@ -66,6 +66,22 @@ class EventQueue:
         self.consumed += 1
         self._last_pop = self.env.now
 
+    def pop_ready(self, limit: int) -> list[Any]:
+        """Immediately drain up to ``limit`` already-buffered events.
+
+        Non-blocking companion to :meth:`pop` used by the monitor's
+        batched daemon path: after winning one event via ``pop`` a
+        daemon opportunistically takes whatever else is queued, up to
+        its batch budget, without yielding back to the scheduler.
+        """
+        if limit <= 0:
+            return []
+        items = self._store.get_ready(limit)
+        if items:
+            self.consumed += len(items)
+            self._last_pop = self.env.now
+        return items
+
     # -- introspection ---------------------------------------------------------
     @property
     def level(self) -> int:

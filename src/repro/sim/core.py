@@ -14,6 +14,8 @@ policy (storage tiers, prefetchers, workloads) lives in higher layers.
 from __future__ import annotations
 
 import heapq
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -47,6 +49,22 @@ class Interrupt(Exception):
 NORMAL = 1
 #: Priority used for urgent bookkeeping events (process resumption).
 URGENT = 0
+
+# Timeout recycling relies on CPython reference counts to prove that no
+# user code can still observe a fired Timeout before it is returned to the
+# environment's pool.  ``_SOLO_REFS`` is the count reported for an object
+# held by exactly one local variable; on interpreters without
+# ``sys.getrefcount`` (PyPy) pooling is simply disabled.
+_getrefcount = getattr(sys, "getrefcount", None)
+if _getrefcount is not None:
+    _probe = object()
+    _SOLO_REFS = _getrefcount(_probe)
+    del _probe
+else:  # pragma: no cover - non-CPython fallback
+    _SOLO_REFS = -1
+
+#: Upper bound on pooled Timeout objects per environment.
+_TIMEOUT_POOL_MAX = 1024
 
 
 class Event:
@@ -140,18 +158,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` units of virtual time after creation."""
+    """An event that fires ``delay`` units of virtual time after creation.
+
+    Timeouts are the single most common event class, so construction is
+    flattened (no ``super().__init__`` / ``_schedule`` calls) and fired
+    instances are recycled through the environment's pool when reference
+    counting proves nobody can still observe them.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        # Flattened Event.__init__ + scheduling: a timeout is born
+        # triggered, so the generic two-step dance is pure overhead.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, NORMAL, eid, self))
 
 
 class Initialize(Event):
@@ -161,7 +192,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)  # type: ignore[union-attr]
+        self.callbacks.append(process._resume_cb)  # type: ignore[union-attr]
         self._triggered = True
         self._value = None
         env._schedule(self, priority=URGENT)
@@ -177,7 +208,7 @@ class Process(Event):
     can wait for each other simply by yielding them.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
         if not hasattr(generator, "throw"):
@@ -186,6 +217,10 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # One bound method for every wait: ``self._resume`` creates a fresh
+        # bound-method object per attribute access, which the old
+        # ``callbacks.append(self._resume)`` paid on every suspension.
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -204,37 +239,42 @@ class Process(Event):
         event._value = Interrupt(cause)
         event._defused = True
         event._triggered = True
-        event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        event.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
         self.env._schedule(event, priority=URGENT)
         # Detach from the event we were waiting on so its normal firing
         # does not resume us a second time.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
 
     # -- driving -------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        # Release the event that woke us: after this point it is history,
+        # and dropping the reference lets fired Timeouts be recycled.
+        self._target = None
+        gen = self._generator
         try:
             while True:
                 try:
                     if event._ok:
-                        result = self._generator.send(event._value)
+                        result = gen.send(event._value)
                     else:
                         event._defused = True
-                        result = self._generator.throw(event._value)
+                        result = gen.throw(event._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     break
-                if not isinstance(result, Event):
+                if result.__class__ is not Timeout and not isinstance(result, Event):
                     exc = SimulationError(
                         f"process {self.name!r} yielded a non-event: {result!r}"
                     )
                     try:
-                        self._generator.throw(exc)
+                        gen.throw(exc)
                     except StopIteration as stop:
                         self.succeed(stop.value)
                         break
@@ -244,10 +284,10 @@ class Process(Event):
                     event = result
                     continue
                 self._target = result
-                result.callbacks.append(self._resume)  # type: ignore[union-attr]
+                result.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
                 break
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {'dead' if self._triggered else 'alive'}>"
@@ -325,11 +365,16 @@ class Environment:
         assert env.now == 1.5 and proc.value == "done"
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_timeout_pool")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Recycled Timeout objects (see Timeout): avoids one allocation
+        # plus full re-initialisation per timeout in steady state.
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock ----------------------------------------------------------
     @property
@@ -349,6 +394,20 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing after ``delay`` units of virtual time."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            t = pool.pop()
+            # callbacks is already an empty list (run() restores it on
+            # recycle) and _ok/_defused still hold True/False: a timeout
+            # is born triggered-ok and only failed events get defused.
+            t._value = value
+            t._processed = False
+            t.delay = delay
+            self._eid = eid = self._eid + 1
+            heappush(self._queue, (self._now + delay, NORMAL, eid, t))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
@@ -400,11 +459,65 @@ class Environment:
                     f"until ({stop_time}) must not be earlier than now ({self._now})"
                 )
 
-        while self._queue:
-            if self._queue[0][0] > stop_time:
+        # The hot loop inlines step() onto local variables: attribute and
+        # method-lookup overhead here is paid once per simulated event.
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heappop
+        refcount = _getrefcount
+        solo = _SOLO_REFS
+        pool_max = _TIMEOUT_POOL_MAX
+        timeout_cls = Timeout
+        if stop_event is None and stop_time == float("inf"):
+            # Run-to-exhaustion specialisation: no stop checks at all.
+            while queue:
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                # Event._run_callbacks, inlined (same order: callbacks
+                # first, then the unhandled-failure check).
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:  # type: ignore[union-attr]
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value  # type: ignore[misc]
+                if (
+                    event.__class__ is timeout_cls
+                    and refcount is not None
+                    and refcount(event) == solo
+                    and len(pool) < pool_max
+                ):
+                    # Nothing but this frame can see the fired timeout:
+                    # recycle it, handing back its (cleared) callbacks
+                    # list so timeout() need not allocate a fresh one.
+                    callbacks.clear()  # type: ignore[union-attr]
+                    event.callbacks = callbacks
+                    pool.append(event)
+            return None
+
+        while queue:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _prio, _eid, event = pop(queue)
+            self._now = when
+            event._processed = True
+            callbacks = event.callbacks
+            event.callbacks = None
+            for cb in callbacks:  # type: ignore[union-attr]
+                cb(event)
+            if not event._ok and not event._defused:
+                raise event._value  # type: ignore[misc]
+            if (
+                event.__class__ is timeout_cls
+                and refcount is not None
+                and refcount(event) == solo
+                and len(pool) < pool_max
+            ):
+                callbacks.clear()  # type: ignore[union-attr]
+                event.callbacks = callbacks
+                pool.append(event)
             if stop_event is not None and stop_event._processed:
                 if not stop_event._ok:
                     raise stop_event._value  # type: ignore[misc]

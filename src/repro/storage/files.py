@@ -79,6 +79,24 @@ class SimFile:
             raise ValueError(f"{key} does not belong to {self.file_id}")
         return segment_size_of(key, self.size, self.segment_size)
 
+    def segment_span(self, offset: int, size: int) -> tuple[int, int]:
+        """``(first, last)`` segment indexes a read touches, clipped.
+
+        The allocation-free core of :meth:`read_segments` for hot paths
+        (the auditor's batched event fold) that walk the index range
+        directly instead of materialising a key list.  An empty span is
+        signalled as ``(0, -1)`` so ``range(first, last + 1)`` is empty.
+        """
+        if offset >= self.size:
+            return (0, -1)
+        size = min(size, self.size - offset)
+        if offset < 0 or size < 0:
+            raise ValueError(f"offset/size must be non-negative, got {offset}/{size}")
+        if size == 0:
+            return (0, -1)
+        seg = self.segment_size
+        return (offset // seg, (offset + size - 1) // seg)
+
     def read_segments(self, offset: int, size: int) -> list[SegmentKey]:
         """Segments touched by a read, clipped to the file's extent."""
         if offset >= self.size:

@@ -1,0 +1,194 @@
+"""Equivalence of the auditor's batched event fold with the per-event path.
+
+``FileSegmentAuditor.on_events`` is a performance fast path; its contract
+is *byte-identical observable state* to looping ``on_event`` over the
+same sequence.  These tests drive both paths over deterministic mixed
+workloads (multiple files, pids, nodes, multi-segment reads, interleaved
+writes, missing files, zero-size reads) and compare every piece of
+state the rest of the system can observe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.auditor import FileSegmentAuditor
+from repro.core.config import HFetchConfig
+from repro.dhm.hashmap import DistributedHashMap
+from repro.events.types import EventType, FileEvent
+from repro.storage.files import FileSystemModel
+from repro.storage.segments import SegmentKey
+
+MB = 1 << 20
+
+
+def make_fs() -> FileSystemModel:
+    fs = FileSystemModel(default_segment_size=MB)
+    fs.create("/a", 64 * MB)
+    fs.create("/b", 16 * MB + 123)  # short last segment
+    fs.create("/c", 3 * MB)
+    return fs
+
+
+def make_events() -> list[FileEvent]:
+    """A deterministic pseudo-random mixed sequence (no RNG needed)."""
+    events: list[FileEvent] = []
+    files = ["/a", "/b", "/c", "/missing"]
+    t = 0.0
+    for i in range(400):
+        t += 1e-4
+        fid = files[(i * 7) % len(files)]
+        pid = (i * 3) % 5
+        node = (i * 11) % 7
+        if i % 23 == 19:
+            events.append(
+                FileEvent(EventType.WRITE, fid, timestamp=t, pid=pid, node=node)
+            )
+            continue
+        offset = ((i * 13) % 60) * MB + (i % 3) * 1000
+        size = [MB // 2, MB, 3 * MB + 17, 0][i % 4]
+        events.append(
+            FileEvent(
+                EventType.READ, fid, offset=offset, size=size,
+                timestamp=t, pid=pid, node=node,
+            )
+        )
+    return events
+
+
+def fold_per_event(auditor: FileSegmentAuditor, events) -> None:
+    for ev in events:
+        auditor.on_event(ev)
+
+
+def stats_state(auditor: FileSegmentAuditor) -> dict:
+    out = {}
+    for key, stats in sorted(auditor.stats_map.items()):
+        out[key] = (
+            stats.refs,
+            list(stats.times),
+            stats.last_access,
+            stats.prev,
+            dict(stats.successors),
+            stats.nbytes,
+        )
+    return out
+
+
+def assert_equivalent(per: FileSegmentAuditor, batched: FileSegmentAuditor) -> None:
+    assert stats_state(per) == stats_state(batched)
+    assert list(per._dirty) == list(batched._dirty)
+    assert per._last_segment == batched._last_segment
+    assert per._home_node == batched._home_node
+    assert per.events_processed == batched.events_processed
+    assert per.score_updates == batched.score_updates
+    assert per.invalidations == batched.invalidations
+    assert per.dirty_dropped == batched.dirty_dropped
+    pm, bm = per.stats_map, batched.stats_map
+    assert pm.updates == bm.updates
+    assert pm.gets == bm.gets
+    assert pm.deletes == bm.deletes
+    assert pm.local_ops == bm.local_ops
+    assert pm.remote_ops == bm.remote_ops
+    # float summation order differs between one charge per op and one
+    # aggregated charge per batch
+    assert pm.total_cost == pytest.approx(bm.total_cost)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_on_events_equivalent_to_per_event_loop(shards):
+    events = make_events()
+    per = FileSegmentAuditor(
+        HFetchConfig(), make_fs(), stats_map=DistributedHashMap(shards=shards)
+    )
+    batched = FileSegmentAuditor(
+        HFetchConfig(), make_fs(), stats_map=DistributedHashMap(shards=shards)
+    )
+    fold_per_event(per, events)
+    n = batched.on_events(events)
+    assert n == len(events)
+    assert batched.batched_events == len(events)
+    assert_equivalent(per, batched)
+    # drained dirty vectors (the engine's input) match in content & order
+    assert per.drain_dirty() == batched.drain_dirty()
+    # and the scores computed from both states are identical
+    keys = [SegmentKey("/a", i) for i in range(64)]
+    assert list(per.batch_score(keys, 1.0)) == list(batched.batch_score(keys, 1.0))
+
+
+def test_on_events_chunked_matches_single_batch():
+    """Stream sequencing links must survive batch boundaries."""
+    events = make_events()
+    whole = FileSegmentAuditor(HFetchConfig(), make_fs())
+    chunked = FileSegmentAuditor(HFetchConfig(), make_fs())
+    whole.on_events(events)
+    for i in range(0, len(events), 7):
+        chunked.on_events(events[i : i + 7])
+    assert_equivalent(whole, chunked)
+
+
+def test_write_invalidation_ordering_within_batch():
+    """read → write → read of one file in a single batch: the write wipes
+    the first read's statistics, the second read rebuilds from scratch."""
+    fs = make_fs()
+    config = HFetchConfig()
+    events = [
+        FileEvent(EventType.READ, "/a", offset=0, size=2 * MB, timestamp=0.1, pid=1),
+        FileEvent(EventType.WRITE, "/a", timestamp=0.2, pid=1),
+        FileEvent(EventType.READ, "/a", offset=0, size=MB, timestamp=0.3, pid=1),
+    ]
+    per = FileSegmentAuditor(config, make_fs())
+    batched = FileSegmentAuditor(config, fs)
+    fold_per_event(per, events)
+    batched.on_events(events)
+    assert_equivalent(per, batched)
+    # the surviving record is the post-write access only
+    s = batched.stats_of(SegmentKey("/a", 0))
+    assert s is not None and s.refs == 1 and list(s.times) == [0.3]
+    assert batched.stats_of(SegmentKey("/a", 1)) is None
+    # predecessor chain was reset by the invalidation
+    assert batched._last_segment[("/a", 1)] == SegmentKey("/a", 0)
+
+
+def test_cross_stream_sequencing_in_batch():
+    """Interleaved pids keep per-stream predecessor chains separate."""
+    fs = make_fs()
+    events = [
+        FileEvent(EventType.READ, "/a", offset=0, size=MB, timestamp=0.1, pid=1),
+        FileEvent(EventType.READ, "/a", offset=10 * MB, size=MB, timestamp=0.2, pid=2),
+        FileEvent(EventType.READ, "/a", offset=1 * MB, size=MB, timestamp=0.3, pid=1),
+        FileEvent(EventType.READ, "/a", offset=11 * MB, size=MB, timestamp=0.4, pid=2),
+    ]
+    auditor = FileSegmentAuditor(HFetchConfig(), fs)
+    auditor.on_events(events)
+    s0 = auditor.stats_of(SegmentKey("/a", 0))
+    s10 = auditor.stats_of(SegmentKey("/a", 10))
+    assert s0.successors == {SegmentKey("/a", 1): 1}
+    assert s10.successors == {SegmentKey("/a", 11): 1}
+    assert auditor._last_segment[("/a", 1)] == SegmentKey("/a", 1)
+    assert auditor._last_segment[("/a", 2)] == SegmentKey("/a", 11)
+
+
+def test_on_events_notifies_listeners_once_with_final_count():
+    auditor = FileSegmentAuditor(HFetchConfig(), make_fs())
+    calls: list[int] = []
+    auditor.add_update_listener(calls.append)
+    auditor.on_events(
+        [
+            FileEvent(EventType.READ, "/a", offset=0, size=3 * MB, timestamp=0.1),
+            FileEvent(EventType.READ, "/a", offset=3 * MB, size=MB, timestamp=0.2),
+        ]
+    )
+    assert calls == [4]
+    assert auditor.score_updates == 4
+
+
+def test_on_events_respects_dirty_capacity():
+    config = HFetchConfig(dirty_vector_capacity=4)
+    auditor = FileSegmentAuditor(config, make_fs())
+    auditor.on_events(
+        [FileEvent(EventType.READ, "/a", offset=0, size=10 * MB, timestamp=0.1)]
+    )
+    assert len(auditor._dirty) == 4
+    assert auditor.dirty_dropped == 6
+    assert auditor.drain_dirty() == [SegmentKey("/a", i) for i in range(4)]

@@ -106,3 +106,49 @@ def test_consumption_rate_exposed():
         env.step()
     assert mon.consumption_rate() > 0
     mon.stop()
+
+
+# ------------------------------------------------------- batched draining
+def test_batched_daemon_folds_same_events():
+    """monitor_batch_size > 1 consumes the same events into the auditor."""
+    env, mon, queue, auditor = make(daemons=1, monitor_batch_size=8)
+    mon.start()
+    for i in range(10):
+        queue.push(FileEvent(EventType.READ, "/f", offset=(i % 8) * MB, size=MB,
+                             timestamp=0.0))
+    queue.push(CapacityEvent(tier_name="RAM", free_bytes=123.0))
+    env.run(until=1.0)
+    assert auditor.events_processed == 10
+    assert auditor.batched_events == 10  # all went through on_events
+    assert mon.file_events == 10
+    assert mon.capacity_events == 1
+    assert mon.tier_free["RAM"] == 123.0
+    mon.stop()
+
+
+def test_batched_daemon_charges_per_event_service_time():
+    """Batch draining amortises hand-offs but not virtual service time."""
+
+    def drain_time(batch):
+        env, mon, queue, _aud = make(
+            daemons=1, event_service_time=0.01, auditor_lock_time=0.0,
+            monitor_batch_size=batch,
+        )
+        mon.start()
+        for i in range(12):
+            queue.push(FileEvent(EventType.READ, "/f", offset=0, size=MB))
+        env.run(until=5.0)
+        mon.stop()
+        return mon.busy_time
+
+    assert drain_time(6) == pytest.approx(drain_time(1))
+
+
+def test_batch_size_one_uses_per_event_path():
+    env, mon, queue, auditor = make(daemons=1)  # default batch size 1
+    mon.start()
+    queue.push(FileEvent(EventType.READ, "/f", offset=0, size=MB))
+    env.run(until=1.0)
+    assert auditor.events_processed == 1
+    assert auditor.batched_events == 0  # legacy path, not on_events
+    mon.stop()

@@ -155,3 +155,79 @@ def test_map_with_wal_end_to_end_recovery():
     assert reborn.get("x") == 2
     assert reborn.get("y") is None
     assert reborn.get("z") == 9
+
+
+# ------------------------------------------------------- bulk fast paths
+def test_get_many_matches_per_key_gets():
+    a = DistributedHashMap(shards=4)
+    b = DistributedHashMap(shards=4)
+    keys = [f"k{i}" for i in range(20)]
+    for m in (a, b):
+        for i, k in enumerate(keys):
+            m.put(k, i, from_shard=i % 4)
+    single = [a.get(k, from_shard=2) for k in keys]
+    bulk = b.get_many(keys, from_shard=2)
+    assert single == bulk
+    assert a.gets == b.gets
+    assert a.local_ops == b.local_ops
+    assert a.remote_ops == b.remote_ops
+    assert a.total_cost == pytest.approx(b.total_cost)
+
+
+def test_get_many_default_and_order():
+    m = DistributedHashMap(shards=2)
+    m.put("x", 1)
+    assert m.get_many(["missing", "x"], default=-1) == [-1, 1]
+
+
+def test_update_many_matches_per_key_updates():
+    a = DistributedHashMap(shards=4)
+    b = DistributedHashMap(shards=4)
+    keys = [f"k{i}" for i in range(17)]
+    for k in keys:
+        a.update(k, lambda v: (v or 0) + 1, from_shard=1)
+    out = b.update_many(keys, lambda k, v: (v or 0) + 1, from_shard=1)
+    assert out == [1] * len(keys)
+    assert a.snapshot() == b.snapshot()
+    assert a.updates == b.updates
+    assert a.local_ops == b.local_ops
+    assert a.remote_ops == b.remote_ops
+    assert a.total_cost == pytest.approx(b.total_cost)
+
+
+def test_update_many_logs_to_wal():
+    wal = WriteAheadLog()
+    m = DistributedHashMap(shards=2, wal=wal)
+    m.update_many(["a", "b"], lambda k, v: k.upper())
+    reborn = DistributedHashMap(shards=2)
+    reborn.restore(wal.recover())
+    assert reborn.get("a") == "A" and reborn.get("b") == "B"
+
+
+def test_charge_batch_accounting():
+    m = DistributedHashMap(shards=2, cost=OpCost(local=1.0, remote=10.0))
+    m.charge_batch(local_ops=3, remote_ops=2, gets=1, updates=4)
+    assert m.local_ops == 3 and m.remote_ops == 2
+    assert m.gets == 1 and m.updates == 4
+    assert m.total_cost == pytest.approx(3 * 1.0 + 2 * 10.0)
+
+
+def test_shard_of_memoisation_is_stable():
+    m = DistributedHashMap(shards=8)
+    p = KeyPartitioner(8)
+    for i in range(50):
+        key = ("file", i)
+        first = m.shard_of(key)
+        assert m.shard_of(key) == first  # memo hit
+        assert first == p.shard_of(key)  # same ring as the partitioner
+    single = DistributedHashMap(shards=1)
+    assert single.shard_of("anything") == 0
+
+
+def test_local_shard_is_raw_and_uncharged():
+    m = DistributedHashMap(shards=2)
+    before = (m.gets, m.puts, m.total_cost)
+    sid = m.shard_of("k")
+    m.local_shard(sid)["k"] = 42
+    assert (m.gets, m.puts, m.total_cost) == before  # caller must charge_batch
+    assert m.get("k") == 42

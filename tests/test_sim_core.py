@@ -368,3 +368,76 @@ def test_active_process_visible_during_resume():
     env.run()
     assert observed == [proc]
     assert env.active_process is None
+
+
+# ------------------------------------------------------- timeout pooling
+def test_held_timeout_reference_is_never_recycled():
+    """A fired Timeout someone still references keeps its value intact."""
+    env = Environment()
+    held = []
+
+    def body(env):
+        t = env.timeout(1, value="precious")
+        held.append(t)
+        got = yield t
+        assert got == "precious"
+        for _ in range(50):
+            yield env.timeout(0.1)
+
+    env.process(body(env))
+    env.run()
+    # the held timeout survived 50 further (potentially recycled) timeouts
+    assert held[0].value == "precious"
+    assert held[0].processed
+
+
+def test_timeout_pool_engages_after_run():
+    import sys
+
+    if getattr(sys, "getrefcount", None) is None:
+        pytest.skip("pooling disabled without sys.getrefcount")
+    env = Environment()
+
+    def body(env):
+        for _ in range(20):
+            yield env.timeout(0.5)
+
+    env.process(body(env))
+    env.run()
+    assert env._timeout_pool  # fired sole-owned timeouts were recycled
+
+
+def test_pooled_kernel_determinism_replay():
+    """Two identical scripts heavy enough to cycle the pool trace identically."""
+
+    def script():
+        env = Environment()
+        log = []
+
+        def body(env, name, d):
+            for i in range(40):
+                v = yield env.timeout(d, value=(name, i))
+                log.append((env.now, v))
+
+        env.process(body(env, "x", 1.5))
+        env.process(body(env, "y", 2.0))
+        env.process(body(env, "z", 0.25))
+        env.run()
+        return log
+
+    assert script() == script()
+
+
+def test_run_until_time_with_pooling():
+    env = Environment()
+    ticks = []
+
+    def body(env):
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(body(env))
+    env.run(until=10.5)
+    assert ticks == [float(i) for i in range(1, 11)]
+    assert env.now == 10.5

@@ -147,3 +147,44 @@ def test_files_written_property():
     )
     assert p.files_written == ("out",)
     assert p.bytes_written == MB
+
+
+# ---------------------------------------------- invalidation cost scaling
+def test_invalidation_cost_independent_of_other_files():
+    """Writing a small file must not scan the whole stats map.
+
+    The auditor keeps a per-file key index, so invalidating a 3-segment
+    file deletes exactly 3 records even with a 1000-segment neighbour in
+    the map — and never falls back to a full ``keys()`` scan.
+    """
+    from repro.core.auditor import FileSegmentAuditor
+    from repro.events.types import EventType, FileEvent
+    from repro.storage.files import FileSystemModel
+
+    fs = FileSystemModel(default_segment_size=MB)
+    fs.create("/huge", 1000 * MB)
+    fs.create("/tiny", 3 * MB)
+    auditor = FileSegmentAuditor(HFetchConfig(dirty_vector_capacity=2000), fs)
+    auditor.on_events(
+        [FileEvent(EventType.READ, "/huge", offset=0, size=1000 * MB, timestamp=0.1),
+         FileEvent(EventType.READ, "/tiny", offset=0, size=3 * MB, timestamp=0.2)]
+    )
+    assert len(auditor.stats_map) == 1003
+
+    scans = []
+    original_keys = auditor.stats_map.keys
+    auditor.stats_map.keys = lambda: scans.append(1) or original_keys()
+
+    deletes_before = auditor.stats_map.deletes
+    auditor.on_event(FileEvent(EventType.WRITE, "/tiny", timestamp=0.3))
+
+    assert scans == []  # no full-map scan
+    assert auditor.stats_map.deletes - deletes_before == 3
+    assert auditor.stats_of(SegmentKey("/tiny", 0)) is None
+    # the big neighbour is untouched
+    assert len(auditor.stats_map) == 1000
+    assert auditor.stats_of(SegmentKey("/huge", 999)) is not None
+    # its dirty entries survive; the written file's are gone
+    drained = auditor.drain_dirty()
+    assert len(drained) == 1000
+    assert all(k.file_id == "/huge" for k in drained)
