@@ -16,6 +16,7 @@ Usage::
     python benchmarks/run_benchmarks.py               # writes BENCH_PR1.json
     python benchmarks/run_benchmarks.py --label PR2   # writes BENCH_PR2.json
     python benchmarks/run_benchmarks.py -k kernel     # subset of the suite
+    python benchmarks/run_benchmarks.py --quick       # CI smoke: run once, no timing
 """
 
 from __future__ import annotations
@@ -41,7 +42,23 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="PR1", help="suffix of BENCH_<label>.json")
     parser.add_argument("-k", default=None, help="pytest -k expression (subset)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: run each benchmark once, no timing or baseline files",
+    )
     args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(ROOT / "src"), env.get("PYTHONPATH")])
+    )
+
+    if args.quick:
+        cmd = [sys.executable, "-m", "pytest", SUITE, "-q", "--benchmark-disable"]
+        if args.k:
+            cmd += ["-k", args.k]
+        return subprocess.call(cmd, cwd=ROOT, env=env)
 
     target = ROOT / f"BENCH_{args.label}.json"
     # preserve any embedded before-measurements across re-runs
@@ -58,10 +75,6 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if args.k:
         cmd += ["-k", args.k]
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join(
-        filter(None, [str(ROOT / "src"), env.get("PYTHONPATH")])
-    )
     rc = subprocess.call(cmd, cwd=ROOT, env=env)
     if rc != 0 or not target.exists():
         print(f"benchmark run failed (exit {rc})", file=sys.stderr)

@@ -139,6 +139,24 @@ class HFetchConfig:
     #: extension of the paper's future work (repro.core.scoring_models).
     scoring_model: str = "eq1"
 
+    #: Bounded retry budget of an I/O client per failed segment movement;
+    #: once exhausted the placement is rolled back and the application
+    #: demand-fetches from the origin.
+    prefetch_max_retries: int = 2
+
+    #: Retries against a down DHM shard before falling back to the
+    #: staged-overlay / WAL read-through path.
+    dhm_max_retries: int = 3
+
+    #: Backoff latency per DHM retry, seconds (charged into the map's
+    #: cost model while a shard is out).
+    dhm_retry_backoff: float = 5e-6
+
+    #: Write-ahead-log the server's hash maps so shard outages can
+    #: recompute statistics from the log (off by default: the WAL costs
+    #: a pickle per update).
+    dhm_wal: bool = False
+
     #: Random seed for tie-breaking placement (paper: equal scores are
     #: placed randomly).
     seed: int = 2020
@@ -164,6 +182,12 @@ class HFetchConfig:
             raise ValueError("lookahead_discount must be in (0, 1]")
         if not self.tier_budgets:
             raise ValueError("at least one tier budget is required")
+        if self.prefetch_max_retries < 0:
+            raise ValueError("prefetch_max_retries must be >= 0")
+        if self.dhm_max_retries < 1:
+            raise ValueError("dhm_max_retries must be >= 1")
+        if self.dhm_retry_backoff < 0:
+            raise ValueError("dhm_retry_backoff must be >= 0")
         from repro.core.scoring_models import SCORING_MODELS
 
         if self.scoring_model not in SCORING_MODELS:

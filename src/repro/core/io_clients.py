@@ -14,8 +14,8 @@ is a miss.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Generator, Optional
 
 from repro.network.comm import NodeCommunicator
 from repro.sim.core import Environment, Interrupt, Process
@@ -43,6 +43,7 @@ class MoveInstruction:
     dst_name: str
     home_node: int = 0
     issued_at: float = 0.0
+    retries: int = 0
 
 
 class IOClientPool:
@@ -55,11 +56,14 @@ class IOClientPool:
         comm: Optional[NodeCommunicator] = None,
         workers_per_tier: int = 1,
         batch_segments: int = 8,
+        max_retries: int = 2,
     ):
         if workers_per_tier < 1:
             raise ValueError("workers_per_tier must be >= 1")
         if batch_segments < 1:
             raise ValueError("batch_segments must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.env = env
         self.hierarchy = hierarchy
         self.comm = comm
@@ -77,10 +81,23 @@ class IOClientPool:
         #: segments whose physical movement has not completed yet,
         #: mapped to the tier name that still serves them.
         self.in_flight: dict[SegmentKey, str] = {}
+        #: bounded retry budget per instruction before it falls back to
+        #: demand fetching
+        self.max_retries = max_retries
+        #: fault-injection hook: ``hook(instruction) -> True`` fails the
+        #: move at the device (installed by the chaos injector; None in
+        #: normal runs)
+        self.fault_hook: Optional[Callable[[MoveInstruction], bool]] = None
+        #: callback notified of failure outcomes ("prefetch_retry" /
+        #: "prefetch_error") for error-budget accounting
+        self.failure_listener: Optional[Callable[[str], None]] = None
         # instrumentation
         self.moves_completed = 0
         self.bytes_moved = 0
         self.move_time = 0.0
+        self.moves_failed = 0
+        self.move_retries = 0
+        self.demand_fallbacks = 0
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -152,6 +169,31 @@ class IOClientPool:
     def _execute_batch(self, batch: list[MoveInstruction], dst_name: str) -> Generator:
         start = self.env.now
         dst = self._tier_or_none(dst_name)
+        if dst is not None and not dst.available:
+            # destination died while the instructions were queued
+            for ins in batch:
+                self._fail_move(ins)
+            return
+        if self.fault_hook is not None:
+            live = []
+            for ins in batch:
+                if self.fault_hook(ins):
+                    self._fail_move(ins)
+                else:
+                    live.append(ins)
+            batch = live
+        if any(not t.available for t in self.hierarchy.tiers):
+            # a failed tier cannot be read from: re-route those moves
+            live = []
+            for ins in batch:
+                src = self._tier_or_none(ins.src_name)
+                if src is not None and not src.available:
+                    self._fail_move(ins)
+                else:
+                    live.append(ins)
+            batch = live
+        if not batch:
+            return
         # 1) one read per source tier covering that source's segments
         by_src: dict[str, int] = {}
         for ins in batch:
@@ -175,6 +217,34 @@ class IOClientPool:
         self.moves_completed += len(batch)
         self.bytes_moved += total
         self.move_time += self.env.now - start
+
+    def _fail_move(self, ins: MoveInstruction) -> None:
+        """Handle one failed movement: bounded retry, then demand fallback.
+
+        A retried instruction whose source tier has failed is re-sourced
+        from the backing store (which always holds the bytes).  Once the
+        retry budget is exhausted the ledger placement is rolled back, so
+        subsequent application reads of the segment demand-fetch from its
+        origin — the prefetch simply never happened.
+        """
+        if ins.retries < self.max_retries:
+            self.move_retries += 1
+            if self.failure_listener is not None:
+                self.failure_listener("prefetch_retry")
+            src = self._tier_or_none(ins.src_name)
+            src_name = ins.src_name
+            if src is not None and not src.available:
+                src_name = self.hierarchy.backing.name
+            self.submit(replace(ins, src_name=src_name, retries=ins.retries + 1))
+            return
+        self.moves_failed += 1
+        self.demand_fallbacks += 1
+        if self.in_flight.get(ins.key) == ins.src_name:
+            self.in_flight.pop(ins.key, None)
+        if self.hierarchy.resident_tier_name(ins.key) == ins.dst_name:
+            self.hierarchy.evict(ins.key)
+        if self.failure_listener is not None:
+            self.failure_listener("prefetch_error")
 
     def drop_in_flight(self, key: SegmentKey) -> None:
         """Forget an in-flight marker (invalidation path)."""

@@ -94,7 +94,14 @@ class HardwareMonitor:
             return
         try:
             while True:
-                event = yield self.queue.pop()
+                get = self.queue.pop()
+                try:
+                    event = yield get
+                except Interrupt:
+                    # withdraw the pending pop so the orphaned getter
+                    # cannot swallow an event pushed after shutdown
+                    self.queue.cancel(get)
+                    raise
                 start = self.env.now
                 # per-event processing work on this daemon thread
                 yield self.env.timeout(self.config.event_service_time)
@@ -127,7 +134,12 @@ class HardwareMonitor:
         limit = self.config.monitor_batch_size
         try:
             while True:
-                event = yield self.queue.pop()
+                get = self.queue.pop()
+                try:
+                    event = yield get
+                except Interrupt:
+                    self.queue.cancel(get)
+                    raise
                 start = self.env.now
                 batch = [event]
                 batch.extend(self.queue.pop_ready(limit - 1))

@@ -94,6 +94,8 @@ class PlacementEngine:
         self.segments_demoted = 0
         self.segments_rejected = 0
         self.plan_time = 0.0
+        self.tier_failures = 0
+        self.segments_rehomed = 0
         auditor.add_update_listener(self._on_score_update)
 
     # -- lifecycle -------------------------------------------------------------
@@ -249,6 +251,9 @@ class PlacementEngine:
             self.segments_rejected += 1
             return
         tier = tiers[tier_idx]
+        if not tier.available:
+            self._calculate_placement(key, nbytes, score, tier_idx + 1)
+            return
         current = self.hierarchy.locate(key)
         if current is tier:
             self._push(tier, key, score)  # refresh score in place
@@ -331,6 +336,38 @@ class PlacementEngine:
         self._scores.pop(key, None)
         self.hierarchy.evict(key)
         self.io_clients.drop_in_flight(key)
+
+    # -- fault handling (tier outage & recovery) ----------------------------------
+    def on_tier_failed(self, tier: StorageTier) -> int:
+        """Handle a tier outage: drain it and re-home the displaced set.
+
+        The exclusive cache sits above a durable backing store, so a
+        failed tier loses cached copies only.  Each displaced segment is
+        pushed back through Algorithm 1 starting at the next tier down,
+        so hot data lands in the best *surviving* tier; segments that no
+        longer fit anywhere sink back to backing-only.  Returns how many
+        segments were re-homed into a surviving tier.
+        """
+        idx = self.hierarchy.tier_index(tier)
+        displaced = self.hierarchy.fail_tier(tier)
+        self._heaps[tier.name] = []
+        self.tier_failures += 1
+        now = self.env.now
+        rehomed = 0
+        for key, nbytes in displaced:
+            self.io_clients.drop_in_flight(key)
+            score = self._scores.pop(key, None)
+            if score is None:
+                score = self.auditor.score_of(key, now)
+            self._calculate_placement(key, nbytes, score, idx + 1)
+            if self.hierarchy.locate(key) is not None:
+                rehomed += 1
+        self.segments_rehomed += rehomed
+        return rehomed
+
+    def on_tier_recovered(self, tier: StorageTier) -> None:
+        """Bring a failed tier back; it refills on subsequent passes."""
+        self.hierarchy.recover_tier(tier)
 
     # -- invalidation (write events, §III-B) --------------------------------------
     def invalidate_file(self, file_id: str) -> int:

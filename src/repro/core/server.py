@@ -23,6 +23,7 @@ from repro.core.io_clients import IOClientPool
 from repro.core.monitor import HardwareMonitor
 from repro.core.placement import PlacementEngine
 from repro.dhm.hashmap import DistributedHashMap
+from repro.dhm.wal import WriteAheadLog
 from repro.events.inotify import SimInotify
 from repro.events.queue import EventQueue
 from repro.network.comm import NodeCommunicator
@@ -56,7 +57,12 @@ class HFetchServer:
         self.queue = EventQueue(env, capacity=config.event_queue_capacity)
         self.inotify.subscribe(self.queue)
 
-        self.stats_map = DistributedHashMap(shards=dhm_shards)
+        self.stats_map = DistributedHashMap(
+            shards=dhm_shards,
+            wal=WriteAheadLog() if config.dhm_wal else None,
+            max_retries=config.dhm_max_retries,
+            retry_backoff=config.dhm_retry_backoff,
+        )
         self.auditor = FileSegmentAuditor(
             config,
             fs,
@@ -73,11 +79,16 @@ class HFetchServer:
             comm=comm,
             workers_per_tier=config.io_workers_per_tier * nodes,
             batch_segments=config.io_batch_segments,
+            max_retries=config.prefetch_max_retries,
         )
         self.engine = PlacementEngine(env, config, hierarchy, self.auditor, self.io_clients)
         self.agent_manager = AgentManager(
             env, self.auditor, self.inotify, self.io_clients,
-            mapping_map=DistributedHashMap(shards=dhm_shards),
+            mapping_map=DistributedHashMap(
+                shards=dhm_shards,
+                max_retries=config.dhm_max_retries,
+                retry_backoff=config.dhm_retry_backoff,
+            ),
         )
         # writes on watched files invalidate prefetched data (§III-B)
         self.auditor.invalidate_hook = self._invalidate_file
@@ -134,6 +145,15 @@ class HFetchServer:
             "location_queries": self.agent_manager.location_queries,
             "active_epochs": self.auditor.active_epochs,
             "consumption_rate": self.monitor.consumption_rate(),
+            # fault tolerance / error budget
+            "moves_failed": self.io_clients.moves_failed,
+            "move_retries": self.io_clients.move_retries,
+            "demand_fallbacks": self.io_clients.demand_fallbacks,
+            "tier_failures": self.hierarchy.tier_failures,
+            "segments_rehomed": self.engine.segments_rehomed,
+            "dhm_degraded_ops": self.stats_map.degraded_ops
+            + self.agent_manager.mapping_map.degraded_ops,
+            "dhm_retries": self.stats_map.retries + self.agent_manager.mapping_map.retries,
         }
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -26,6 +26,52 @@ from repro.dhm.wal import WriteAheadLog
 __all__ = ["OpCost", "DistributedHashMap"]
 
 
+class _Tombstone:
+    """Sentinel marking a key deleted while its shard was down."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<tombstone>"
+
+
+_TOMBSTONE = _Tombstone()
+
+
+class _ShardOverlay(dict):
+    """Staging store for a failed shard, with WAL read-through.
+
+    While a shard is out, writes land here and reads fall back to the
+    state recomputed from the write-ahead log.  A recovered value is
+    cached into the overlay on first read so the auditor's in-place
+    mutation protocol (``shard.get(key)`` then ``stats.record(...)``)
+    keeps working across repeated reads.  On shard recovery the overlay
+    is merged over the real shard (tombstones delete).
+    """
+
+    def __init__(self, wal_state):
+        super().__init__()
+        self._wal_state = wal_state  # zero-arg callable -> recovered dict
+        self.fallback_reads = 0
+
+    def get(self, key, default=None):
+        try:
+            value = dict.__getitem__(self, key)
+        except KeyError:
+            state = self._wal_state()
+            if key not in state:
+                return default
+            value = state[key]
+            dict.__setitem__(self, key, value)
+            self.fallback_reads += 1
+        return default if value is _TOMBSTONE else value
+
+    def __contains__(self, key) -> bool:
+        return self.get(key, _TOMBSTONE) is not _TOMBSTONE
+
+    def __delitem__(self, key) -> None:
+        # tombstone instead of removal, so read-through cannot resurrect
+        dict.__setitem__(self, key, _TOMBSTONE)
+
+
 @dataclass(frozen=True)
 class OpCost:
     """Latency model of one map operation class (seconds)."""
@@ -58,11 +104,24 @@ class DistributedHashMap:
         cost: OpCost = OpCost(),
         wal: Optional[WriteAheadLog] = None,
         virtual_nodes: int = 64,
+        max_retries: int = 3,
+        retry_backoff: float = 5e-6,
     ):
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.partitioner = KeyPartitioner(shards, virtual_nodes=virtual_nodes)
         self.cost = cost
         self.wal = wal
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self._shards: list[dict[Hashable, Any]] = [dict() for _ in range(shards)]
+        # shard-outage state (empty in healthy runs — the hot paths only
+        # pay a falsy-set check)
+        self._down: set[int] = set()
+        self._staged: dict[int, _ShardOverlay] = {}
+        self._wal_cache: Optional[dict] = None
         # Memoised ring lookups: ``KeyPartitioner.shard_of`` hashes the
         # key's repr through crc32 twice per call, which dominates the
         # per-op cost on hot paths.  The ring never changes after
@@ -77,6 +136,11 @@ class DistributedHashMap:
         self.remote_ops = 0
         self.local_ops = 0
         self.total_cost = 0.0
+        self.degraded_ops = 0
+        self.retries = 0
+        self.shard_failures = 0
+        self.shard_recoveries = 0
+        self.staged_merged = 0
 
     # -- shard plumbing ------------------------------------------------------
     @property
@@ -101,7 +165,22 @@ class DistributedHashMap:
             self.local_ops += 1
         else:
             self.remote_ops += 1
+        if self._down and shard_id in self._down:
+            self._charge_degraded()
+            return self._staged[shard_id]
         return self._shards[shard_id]
+
+    def _charge_degraded(self) -> None:
+        """Account retry-with-backoff latency for an op on a down shard.
+
+        The caller retries ``max_retries`` times against the dead shard
+        (each a remote round plus a backoff sleep) before falling back
+        to the staged overlay / WAL read-through.
+        """
+        n = self.max_retries
+        self.retries += n
+        self.degraded_ops += 1
+        self.total_cost += n * (self.cost.remote + self.retry_backoff)
 
     # -- operations -------------------------------------------------------------
     def get(self, key: Hashable, default: Any = None, from_shard: Optional[int] = None) -> Any:
@@ -166,6 +245,9 @@ class DistributedHashMap:
         in keys]`` but the per-op Python overhead (method dispatch, cost
         bookkeeping) is paid once per batch instead of once per key.
         """
+        if self._down:
+            # degraded slow path: per-key charged gets (overlay-aware)
+            return [self.get(key, default, from_shard) for key in keys]
         shards = self._shards
         single = len(shards) == 1
         shard_of = self.shard_of
@@ -195,6 +277,18 @@ class DistributedHashMap:
         closure per key.  Each key's application is still an indivisible
         shard-local step; results are returned in input order.
         """
+        if self._down:
+            # degraded slow path: per-key charged updates (overlay-aware)
+            out = []
+            for key in keys:
+                self.updates += 1
+                shard = self._charge(key, from_shard)
+                new_value = fn(key, shard.get(key, default))
+                shard[key] = new_value
+                if self.wal is not None:
+                    self.wal.log_put(key, new_value)
+                out.append(new_value)
+            return out
         shards = self._shards
         single = len(shards) == 1
         shard_of = self.shard_of
@@ -223,7 +317,13 @@ class DistributedHashMap:
         records through this handle (the auditor's batched event fold)
         must account the traffic itself via :meth:`charge_batch`, and
         must write its own WAL entries when :attr:`wal` is set.
+
+        While ``shard_id`` is out, the staged overlay is returned
+        instead (the retry cost is charged here, once per handle).
         """
+        if self._down and shard_id in self._down:
+            self._charge_degraded()
+            return self._staged[shard_id]
         return self._shards[shard_id]
 
     def charge_batch(
@@ -244,6 +344,57 @@ class DistributedHashMap:
         self.local_ops += local_ops
         self.remote_ops += remote_ops
         self.total_cost += local_ops * self.cost.local + remote_ops * self.cost.remote
+
+    # -- shard outage & recovery ---------------------------------------------------
+    def _wal_state(self) -> dict:
+        """State recomputed from the WAL (cached; empty without a WAL)."""
+        if self._wal_cache is None:
+            self._wal_cache = self.wal.recover() if self.wal is not None else {}
+        return self._wal_cache
+
+    @property
+    def down_shards(self) -> frozenset:
+        """Ids of shards currently out."""
+        return frozenset(self._down)
+
+    def fail_shard(self, shard_id: int) -> None:
+        """Take one shard offline.
+
+        Subsequent operations on its keys pay retry-with-backoff latency,
+        write into a staged overlay, and read through the state recovered
+        from the write-ahead log (scores are *recomputed from the WAL*,
+        not served from the dead shard).  Without a WAL the fallback is
+        lossy: reads miss and records restart fresh.
+        """
+        if not 0 <= shard_id < len(self._shards):
+            raise ValueError(f"shard id {shard_id} out of range [0, {len(self._shards)})")
+        if shard_id in self._down:
+            return
+        self._down.add(shard_id)
+        self._wal_cache = None  # recompute on first read-through
+        self._staged[shard_id] = _ShardOverlay(self._wal_state)
+        self.shard_failures += 1
+
+    def recover_shard(self, shard_id: int) -> int:
+        """Bring a shard back, merging its staged overlay over the shard.
+
+        Returns the number of staged entries merged (tombstones delete).
+        """
+        if shard_id not in self._down:
+            return 0
+        self._down.discard(shard_id)
+        overlay = self._staged.pop(shard_id)
+        real = self._shards[shard_id]
+        merged = 0
+        for key, value in dict.items(overlay):
+            if value is _TOMBSTONE:
+                real.pop(key, None)
+            else:
+                real[key] = value
+            merged += 1
+        self.shard_recoveries += 1
+        self.staged_merged += merged
+        return merged
 
     # -- bulk / scan (uncharged admin operations) ----------------------------------
     def keys(self) -> Iterable[Hashable]:
@@ -279,7 +430,10 @@ class DistributedHashMap:
         return sum(len(s) for s in self._shards)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._shards[self.shard_of(key)]
+        sid = self.shard_of(key)
+        if self._down and sid in self._down:
+            return key in self._staged[sid]
+        return key in self._shards[sid]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DistributedHashMap shards={self.shards} size={len(self)}>"

@@ -37,6 +37,10 @@ class EventQueue:
         self.env = env
         self.capacity = capacity
         self._store = Store(env, capacity=capacity)
+        #: optional chaos filter (:class:`repro.faults.injector.EventChaos`)
+        #: mapping each offered event to the list actually enqueued; None
+        #: in normal runs (zero overhead)
+        self.chaos: Optional[Any] = None
         self.produced = 0
         self.consumed = 0
         self.dropped = 0
@@ -46,6 +50,14 @@ class EventQueue:
     # -- producer side -------------------------------------------------------
     def push(self, event: Any) -> bool:
         """Offer an event without blocking; False when dropped (full)."""
+        if self.chaos is not None:
+            delivered = False
+            for ev in self.chaos.filter(event, self.env.now):
+                delivered = self._push_one(ev) or delivered
+            return delivered
+        return self._push_one(event)
+
+    def _push_one(self, event: Any) -> bool:
         if self._store.level >= self.capacity:
             self.dropped += 1
             return False
@@ -65,6 +77,14 @@ class EventQueue:
     def _on_pop(self, _event: Event) -> None:
         self.consumed += 1
         self._last_pop = self.env.now
+
+    def cancel(self, get: Event) -> bool:
+        """Withdraw a pending :meth:`pop` that has not fired.
+
+        Consumers interrupted while waiting must cancel, or the orphaned
+        getter would swallow (and lose) the next pushed event.
+        """
+        return self._store.cancel(get)
 
     def pop_ready(self, limit: int) -> list[Any]:
         """Immediately drain up to ``limit`` already-buffered events.

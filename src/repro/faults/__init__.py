@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the prefetch pipeline.
+
+The subsystem is built around three ideas:
+
+* A :class:`~repro.faults.spec.FaultSpec` describes one fault — a timed
+  state flip (tier outage, device slowdown, DHM shard outage) or a
+  probabilistic per-operation fault (event drop/duplication/reorder,
+  prefetch I/O errors) active inside a virtual-time window.
+* A :class:`~repro.faults.plan.FaultPlan` is an immutable, serialisable
+  bundle of specs plus a seed.  Every chaos run is exactly replayable
+  from ``(seed, plan)`` — the injector draws all randomness from
+  :class:`~repro.sim.rng.SeededStream` streams derived from the plan
+  seed, and faults fire on the DES kernel clock.
+* A :class:`~repro.faults.injector.FaultInjector` hooks a plan into a
+  live simulation (hierarchy, placement engine, event queue, hash maps,
+  I/O clients) and records a replayable log of every injection.
+
+With an empty plan nothing is installed: no hooks, no processes, no
+extra events — runs are identical to a build without the subsystem.
+"""
+
+from repro.faults.injector import EventChaos, FaultInjector, FaultTargets, fault_targets_for
+from repro.faults.plan import FaultPlan
+from repro.faults.spec import FaultKind, FaultSpec
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultTargets",
+    "FaultInjector",
+    "EventChaos",
+    "fault_targets_for",
+]

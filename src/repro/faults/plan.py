@@ -1,0 +1,168 @@
+"""Fault plans: immutable, serialisable bundles of fault specs.
+
+A plan plus the simulation seed fully determines a chaos run — the
+injector derives every random draw from ``(plan.seed, purpose-label)``
+streams, and every timed flip fires on the DES clock.  Plans serialise
+to plain JSON so a failing seed can be written down, attached to a bug
+report, and replayed byte-for-byte (see ``examples/chaos_replay.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.faults.spec import FaultKind, FaultSpec
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of :class:`FaultSpec`.
+
+    The plan is empty by default; :meth:`empty` makes the intent
+    explicit at call sites.  Builder methods return extended copies so
+    plans compose fluently::
+
+        plan = (
+            FaultPlan(seed=7)
+            .tier_outage("NVMe", at=5.0, duration=3.0)
+            .event_drop(0.05)
+            .prefetch_io_error(0.1, tier="RAM")
+        )
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 2020
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ValueError(f"plan entries must be FaultSpec, got {spec!r}")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def empty(cls, seed: int = 2020) -> "FaultPlan":
+        """The no-fault plan (injection is a guaranteed no-op)."""
+        return cls(specs=(), seed=seed)
+
+    def with_spec(self, spec: FaultSpec) -> "FaultPlan":
+        """A copy of this plan with ``spec`` appended."""
+        return FaultPlan(specs=self.specs + (spec,), seed=self.seed)
+
+    def tier_outage(self, tier: str, at: float, duration: float = math.inf) -> "FaultPlan":
+        """Kill tier ``tier`` at ``at`` (recovering after ``duration``)."""
+        return self.with_spec(
+            FaultSpec(FaultKind.TIER_OUTAGE, at=at, duration=duration, target=tier)
+        )
+
+    def device_slowdown(
+        self, tier: str, factor: float, at: float, duration: float = math.inf
+    ) -> "FaultPlan":
+        """Slow tier ``tier`` down by ``factor`` inside the window."""
+        return self.with_spec(
+            FaultSpec(
+                FaultKind.DEVICE_SLOWDOWN, at=at, duration=duration, target=tier, factor=factor
+            )
+        )
+
+    def shard_outage(self, shard: int, at: float, duration: float = math.inf) -> "FaultPlan":
+        """Take DHM shard ``shard`` offline inside the window."""
+        return self.with_spec(
+            FaultSpec(FaultKind.SHARD_OUTAGE, at=at, duration=duration, target=shard)
+        )
+
+    def event_drop(
+        self, probability: float, at: float = 0.0, duration: float = math.inf
+    ) -> "FaultPlan":
+        """Drop each emitted event with ``probability`` inside the window."""
+        return self.with_spec(
+            FaultSpec(FaultKind.EVENT_DROP, at=at, duration=duration, probability=probability)
+        )
+
+    def event_duplicate(
+        self, probability: float, at: float = 0.0, duration: float = math.inf
+    ) -> "FaultPlan":
+        """Deliver each event twice with ``probability`` inside the window."""
+        return self.with_spec(
+            FaultSpec(
+                FaultKind.EVENT_DUPLICATE, at=at, duration=duration, probability=probability
+            )
+        )
+
+    def event_reorder(
+        self, probability: float, at: float = 0.0, duration: float = math.inf
+    ) -> "FaultPlan":
+        """Swap each event behind its successor with ``probability``."""
+        return self.with_spec(
+            FaultSpec(FaultKind.EVENT_REORDER, at=at, duration=duration, probability=probability)
+        )
+
+    def prefetch_io_error(
+        self,
+        probability: float,
+        tier: Optional[str] = None,
+        at: float = 0.0,
+        duration: float = math.inf,
+    ) -> "FaultPlan":
+        """Fail segment movements (to ``tier``, or any) with ``probability``."""
+        return self.with_spec(
+            FaultSpec(
+                FaultKind.PREFETCH_IO_ERROR,
+                at=at,
+                duration=duration,
+                target=tier,
+                probability=probability,
+            )
+        )
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing."""
+        return not self.specs
+
+    def by_kind(self, *kinds: FaultKind) -> list[FaultSpec]:
+        """Specs of the given kinds, in plan order."""
+        wanted = set(kinds)
+        return [s for s in self.specs if s.kind in wanted]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible encoding of the whole plan."""
+        return {"seed": self.seed, "specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            specs=tuple(FaultSpec.from_dict(d) for d in data.get("specs", ())),
+            seed=int(data.get("seed", 2020)),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON string (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """Stable short digest identifying ``(seed, plan)`` for logs."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan seed={self.seed} specs={len(self.specs)} {self.fingerprint()}>"

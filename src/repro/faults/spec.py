@@ -1,0 +1,166 @@
+"""Fault vocabulary: what can break, when, and how badly.
+
+A :class:`FaultSpec` is a frozen value object; validation happens at
+construction so a :class:`~repro.faults.plan.FaultPlan` is well-formed
+by the time it reaches the injector.  Two families exist:
+
+* **Timed** faults flip a component's state at ``at`` and (unless the
+  window is open-ended) flip it back at ``at + duration``:
+  :attr:`FaultKind.TIER_OUTAGE`, :attr:`FaultKind.DEVICE_SLOWDOWN`,
+  :attr:`FaultKind.SHARD_OUTAGE`.
+* **Probabilistic** faults are coin flips applied to individual
+  operations while the window is open:
+  :attr:`FaultKind.EVENT_DROP`, :attr:`FaultKind.EVENT_DUPLICATE`,
+  :attr:`FaultKind.EVENT_REORDER`, :attr:`FaultKind.PREFETCH_IO_ERROR`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = ["FaultKind", "FaultSpec", "TIMED_KINDS", "PROBABILISTIC_KINDS"]
+
+
+class FaultKind(enum.Enum):
+    """The fault vocabulary of the chaos harness."""
+
+    #: A whole cache tier becomes unreachable; its resident copies are
+    #: lost and must be re-homed (the backing store always has the bytes).
+    TIER_OUTAGE = "tier_outage"
+    #: A tier's device serves I/O ``factor`` times slower.
+    DEVICE_SLOWDOWN = "device_slowdown"
+    #: One shard of a distributed hash map becomes unreachable.
+    SHARD_OUTAGE = "shard_outage"
+    #: An emitted file-system event is silently lost.
+    EVENT_DROP = "event_drop"
+    #: An emitted event is delivered twice.
+    EVENT_DUPLICATE = "event_duplicate"
+    #: An emitted event is delayed behind its successor (pairwise swap).
+    EVENT_REORDER = "event_reorder"
+    #: A planned segment movement fails at the device.
+    PREFETCH_IO_ERROR = "prefetch_io_error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Kinds applied as timed state flips.
+TIMED_KINDS = frozenset(
+    {FaultKind.TIER_OUTAGE, FaultKind.DEVICE_SLOWDOWN, FaultKind.SHARD_OUTAGE}
+)
+
+#: Kinds applied as per-operation coin flips inside the window.
+PROBABILISTIC_KINDS = frozenset(
+    {
+        FaultKind.EVENT_DROP,
+        FaultKind.EVENT_DUPLICATE,
+        FaultKind.EVENT_REORDER,
+        FaultKind.PREFETCH_IO_ERROR,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind, window, target, and severity knobs.
+
+    Attributes
+    ----------
+    kind:
+        What breaks.
+    at:
+        Virtual time the fault window opens (>= 0).
+    duration:
+        Window length; ``inf`` (the default) keeps the fault active for
+        the rest of the run (no recovery).
+    target:
+        Tier name (tier faults), shard id (shard outage), or destination
+        tier name (prefetch I/O errors; ``None`` = any tier).  Unused by
+        the event faults.
+    probability:
+        Per-operation fault probability for probabilistic kinds.
+    factor:
+        Slowdown multiplier for :attr:`FaultKind.DEVICE_SLOWDOWN`.
+    """
+
+    kind: FaultKind
+    at: float = 0.0
+    duration: float = math.inf
+    target: Optional[Union[str, int]] = None
+    probability: float = 1.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise ValueError(f"kind must be a FaultKind, got {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"fault duration must be positive, got {self.duration}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+        if self.kind is FaultKind.DEVICE_SLOWDOWN and self.factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {self.factor}")
+        if self.kind in (FaultKind.TIER_OUTAGE, FaultKind.DEVICE_SLOWDOWN):
+            if not isinstance(self.target, str) or not self.target:
+                raise ValueError(f"{self.kind} requires a tier-name target")
+        if self.kind is FaultKind.SHARD_OUTAGE:
+            if not isinstance(self.target, int) or self.target < 0:
+                raise ValueError("shard_outage requires a non-negative shard-id target")
+        if self.kind is FaultKind.PREFETCH_IO_ERROR and self.target is not None:
+            if not isinstance(self.target, str) or not self.target:
+                raise ValueError("prefetch_io_error target must be a tier name or None")
+
+    # -- window -----------------------------------------------------------
+    @property
+    def until(self) -> float:
+        """Virtual time the window closes (``inf`` for open-ended faults)."""
+        return self.at + self.duration
+
+    @property
+    def recovers(self) -> bool:
+        """Whether the fault has a recovery edge."""
+        return math.isfinite(self.duration)
+
+    def active_at(self, now: float) -> bool:
+        """Whether the window is open at ``now``."""
+        return self.at <= now < self.until
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible encoding (``inf`` durations become None)."""
+        return {
+            "kind": self.kind.value,
+            "at": self.at,
+            "duration": None if not self.recovers else self.duration,
+            "target": self.target,
+            "probability": self.probability,
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        duration = data.get("duration")
+        return cls(
+            kind=FaultKind(data["kind"]),
+            at=float(data.get("at", 0.0)),
+            duration=math.inf if duration is None else float(duration),
+            target=data.get("target"),
+            probability=float(data.get("probability", 1.0)),
+            factor=float(data.get("factor", 1.0)),
+        )
+
+    def __str__(self) -> str:
+        window = f"[{self.at:g}, {'inf' if not self.recovers else format(self.until, 'g')})"
+        bits = [f"{self.kind}", window]
+        if self.target is not None:
+            bits.append(f"target={self.target}")
+        if self.kind in PROBABILISTIC_KINDS:
+            bits.append(f"p={self.probability:g}")
+        if self.kind is FaultKind.DEVICE_SLOWDOWN:
+            bits.append(f"x{self.factor:g}")
+        return " ".join(bits)

@@ -37,6 +37,7 @@ class RunResult:
     ram_peak_bytes: float = 0.0
     evictions: int = 0
     extra: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
 
     @property
     def miss_ratio(self) -> float:
@@ -72,6 +73,17 @@ class MetricsCollector:
         self.per_app_misses: dict[str, int] = defaultdict(int)
         self.first_read_at: Optional[float] = None
         self.last_read_at: Optional[float] = None
+        # fault / degradation accounting (chaos runs; empty otherwise)
+        self.faults: dict[str, int] = defaultdict(int)
+
+    def record_fault(self, kind: str, n: int = 1) -> None:
+        """Count one injected fault or degradation outcome."""
+        self.faults[kind] += n
+
+    @property
+    def prefetch_errors(self) -> int:
+        """Terminal prefetch failures (the spent error budget)."""
+        return self.faults.get("prefetch_error", 0)
 
     # -- recording -------------------------------------------------------------
     def record_read(
@@ -126,6 +138,7 @@ class MetricsCollector:
         ram_peak_bytes: float = 0.0,
         evictions: int = 0,
         extra: Optional[dict] = None,
+        faults: Optional[dict] = None,
     ) -> RunResult:
         """Freeze the run into a :class:`RunResult`."""
         return RunResult(
@@ -142,6 +155,7 @@ class MetricsCollector:
             ram_peak_bytes=ram_peak_bytes,
             evictions=evictions,
             extra=dict(extra or {}),
+            faults=dict(faults if faults is not None else self.faults),
         )
 
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.faults.injector import FaultInjector, fault_targets_for
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector, RunResult
 from repro.runtime.cluster import SimulatedCluster
 
@@ -44,10 +46,13 @@ class WorkflowRunner:
         workload: WorkloadSpec,
         prefetcher: "Prefetcher",
         seed: int = 2020,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.cluster = cluster
         self.workload = workload
         self.prefetcher = prefetcher
+        self.fault_plan = fault_plan
+        self.injector: Optional[FaultInjector] = None
         self.metrics = MetricsCollector()
         self.ctx: RuntimeContext = cluster.context(metrics=self.metrics, seed=seed)
         self._app_done: dict[str, Event] = {}
@@ -60,6 +65,14 @@ class WorkflowRunner:
         self.workload.materialize(self.ctx.fs)
         self.prefetcher.attach(self.ctx)
         self.prefetcher.on_workload(self.workload)
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            self.injector = FaultInjector(
+                env,
+                self.fault_plan,
+                fault_targets_for(self.prefetcher, self.ctx),
+                metrics=self.metrics,
+            )
+            self.injector.start()
 
         # application completion events for pipeline dependencies
         for app in self.workload.apps:
@@ -78,6 +91,8 @@ class WorkflowRunner:
         done = env.all_of(procs)
         env.run(until=done)
         end_time = env.now
+        if self.injector is not None:
+            self.injector.stop()
         self.prefetcher.detach()
 
         ram_peak = self._ram_peak()
@@ -202,10 +217,11 @@ def run_workload(
     prefetcher: "Prefetcher",
     cluster: Optional[SimulatedCluster] = None,
     seed: int = 2020,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """One-shot convenience: build a cluster (if needed), run, summarise."""
     if cluster is None:
         from repro.runtime.cluster import ClusterSpec
 
         cluster = SimulatedCluster(ClusterSpec().scaled_for(workload.num_processes))
-    return WorkflowRunner(cluster, workload, prefetcher, seed=seed).run()
+    return WorkflowRunner(cluster, workload, prefetcher, seed=seed, fault_plan=fault_plan).run()

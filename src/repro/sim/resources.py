@@ -241,6 +241,22 @@ class Store:
             self._balance()
         return out
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending ``get``/``put`` that has not fired yet.
+
+        A consumer that is interrupted while waiting on :meth:`get` must
+        cancel the returned event — otherwise the orphaned getter stays
+        queued and a later ``put`` feeds it, silently losing the item.
+        Returns True when the event was still queued.
+        """
+        for queue in (self._getters, self._putters):
+            try:
+                queue.remove(event)  # type: ignore[arg-type]
+                return True
+            except ValueError:
+                continue
+        return False
+
     def _balance(self) -> None:
         progress = True
         while progress:

@@ -44,6 +44,9 @@ class StorageHierarchy:
         self.evictions = 0
         self.promotions = 0
         self.demotions = 0
+        self.tier_failures = 0
+        self.tier_recoveries = 0
+        self.segments_displaced = 0
 
     # -- structure ---------------------------------------------------------
     def tier_index(self, tier: StorageTier) -> int:
@@ -73,6 +76,41 @@ class StorageHierarchy:
         """The top tier."""
         return self.tiers[0]
 
+    def available_tiers(self) -> list[StorageTier]:
+        """Prefetching tiers currently able to hold data (fast → slow)."""
+        return [t for t in self.tiers if t.available]
+
+    # -- health ------------------------------------------------------------
+    def fail_tier(self, tier: StorageTier) -> list[tuple[SegmentKey, int]]:
+        """Take ``tier`` offline, returning its displaced ``(key, size)`` list.
+
+        The cache is exclusive over a durable backing store, so an
+        outage loses only *cached copies*: every displaced segment is
+        still fully readable from backing.  Callers (the placement
+        engine) may re-home the displaced set further down the
+        hierarchy.
+        """
+        if tier is self.backing:
+            raise ValueError("the backing store cannot fail (durability root)")
+        if tier not in self.tiers:
+            raise ValueError(f"{tier.name} is not part of this hierarchy")
+        displaced = [(key, tier.size_of(key)) for key in list(tier.resident_keys())]
+        for key, _ in displaced:
+            self._location.pop(key, None)
+            tier.drop(key)
+        tier.fail()
+        tier.reset_score_bounds()
+        self.tier_failures += 1
+        self.segments_displaced += len(displaced)
+        return displaced
+
+    def recover_tier(self, tier: StorageTier) -> None:
+        """Bring a failed tier back into rotation (empty)."""
+        if tier is not self.backing and tier not in self.tiers:
+            raise ValueError(f"{tier.name} is not part of this hierarchy")
+        tier.recover()
+        self.tier_recoveries += 1
+
     # -- residency ---------------------------------------------------------
     def locate(self, key: SegmentKey) -> Optional[StorageTier]:
         """Tier currently holding ``key``, or None (i.e. backing only)."""
@@ -99,6 +137,8 @@ class StorageHierarchy:
         current = self._location.get(key)
         if current is tier:
             return
+        if not tier.available:
+            raise TierFullError(f"{tier.name} is failed; cannot place {key}")
         if not tier.can_fit(nbytes):
             raise TierFullError(
                 f"{tier.name} cannot fit {key} ({nbytes} B, free={tier.free:g} B)"
@@ -161,6 +201,10 @@ class StorageHierarchy:
                 )
             if tier.used > tier.capacity:
                 raise AssertionError(f"{tier.name} over capacity")
+            if not tier.available and tier.resident_count:
+                raise AssertionError(
+                    f"failed tier {tier.name} still holds {tier.resident_count} segments"
+                )
         if set(seen) != set(self._location):
             raise AssertionError("location index contains stale entries")
 

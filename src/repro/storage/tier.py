@@ -14,6 +14,7 @@ engine.
 
 from __future__ import annotations
 
+import enum
 import math
 from typing import Generator, Iterable
 
@@ -22,7 +23,24 @@ from repro.sim.pipes import BandwidthPipe
 from repro.storage.devices import DeviceProfile
 from repro.storage.segments import SegmentKey
 
-__all__ = ["StorageTier"]
+__all__ = ["StorageTier", "TierHealth"]
+
+
+class TierHealth(enum.Enum):
+    """Health state of a tier's device.
+
+    FAILED tiers advertise zero free capacity and reject admissions, so
+    the hardware monitor's capacity events automatically re-advertise
+    the loss to the placement engine; DEGRADED tiers stay usable but
+    serve I/O slower by a multiplicative factor.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+    def __str__(self) -> str:
+        return self.value
 
 
 class StorageTier:
@@ -53,6 +71,9 @@ class StorageTier:
         # Algorithm 1 score bounds (maintained by the placement engine).
         self.min_score = math.inf
         self.max_score = -math.inf
+        # health state (driven by the fault injector; HEALTHY in normal runs)
+        self.health = TierHealth.HEALTHY
+        self.slowdown = 1.0
         # instrumentation
         self.reads = 0
         self.writes = 0
@@ -61,6 +82,8 @@ class StorageTier:
         self.admissions = 0
         self.drops = 0
         self.peak_used = 0
+        self.failures = 0
+        self.recoveries = 0
 
     # -- residency ledger -------------------------------------------------
     @property
@@ -70,8 +93,15 @@ class StorageTier:
 
     @property
     def free(self) -> float:
-        """Bytes of remaining capacity."""
+        """Bytes of remaining capacity (0 while the tier is failed)."""
+        if self.health is TierHealth.FAILED:
+            return 0.0
         return self.capacity - self._used
+
+    @property
+    def available(self) -> bool:
+        """Whether the tier can serve I/O and accept placements."""
+        return self.health is not TierHealth.FAILED
 
     @property
     def resident_count(self) -> int:
@@ -92,6 +122,8 @@ class StorageTier:
 
     def can_fit(self, nbytes: int) -> bool:
         """Whether ``nbytes`` more would fit right now."""
+        if self.health is TierHealth.FAILED:
+            return False
         return self._used + nbytes <= self.capacity
 
     def admit(self, key: SegmentKey, nbytes: int) -> None:
@@ -129,6 +161,10 @@ class StorageTier:
         movement so it never delays application requests.
         """
         duration = yield from self.pipe.transfer(nbytes, priority=priority)
+        if self.slowdown != 1.0:
+            surcharge = (self.slowdown - 1.0) * self.pipe.service_time(nbytes)
+            yield self.env.timeout(surcharge)
+            duration += surcharge
         self.reads += 1
         self.bytes_read += nbytes
         return duration
@@ -136,13 +172,51 @@ class StorageTier:
     def write(self, nbytes: int, priority: int = 0) -> Generator:
         """Process generator: write ``nbytes`` to this tier's device."""
         duration = yield from self.pipe.transfer(nbytes, priority=priority)
+        if self.slowdown != 1.0:
+            surcharge = (self.slowdown - 1.0) * self.pipe.service_time(nbytes)
+            yield self.env.timeout(surcharge)
+            duration += surcharge
         self.writes += 1
         self.bytes_written += nbytes
         return duration
 
     def service_time(self, nbytes: int) -> float:
         """Uncontended transfer time for ``nbytes``."""
-        return self.pipe.service_time(nbytes)
+        return self.pipe.service_time(nbytes) * self.slowdown
+
+    # -- health ------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the tier unreachable (ledger must already be drained)."""
+        if self._resident:
+            raise ValueError(
+                f"fail() on {self.name} with {len(self._resident)} residents; "
+                "drain via StorageHierarchy.fail_tier so the location index stays consistent"
+            )
+        self.health = TierHealth.FAILED
+        self.failures += 1
+
+    def recover(self) -> None:
+        """Bring a failed tier back, empty and at full speed."""
+        if self.health is TierHealth.FAILED:
+            self.recoveries += 1
+        self.health = TierHealth.HEALTHY
+        self.slowdown = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Serve I/O ``factor`` times slower (factor >= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        if self.health is TierHealth.FAILED:
+            raise ValueError(f"cannot degrade failed tier {self.name}")
+        self.slowdown = factor
+        self.health = TierHealth.DEGRADED if factor > 1.0 else TierHealth.HEALTHY
+
+    def restore_speed(self) -> None:
+        """Clear a device slowdown (no-op on failed tiers)."""
+        if self.health is TierHealth.FAILED:
+            return
+        self.slowdown = 1.0
+        self.health = TierHealth.HEALTHY
 
     def reset_score_bounds(self) -> None:
         """Clear the Algorithm 1 score window (empty-tier state)."""

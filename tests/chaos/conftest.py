@@ -1,0 +1,66 @@
+"""Shared fixtures for the chaos suite: a small cluster + workload pair
+sized so a full HFetch run takes well under a second of wall time."""
+
+import pytest
+
+from repro.core.config import HFetchConfig
+from repro.core.prefetcher import HFetchPrefetcher
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster, TierSpec
+from repro.runtime.runner import WorkflowRunner
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.workloads.synthetic import partitioned_sequential_workload
+
+MB = 1 << 20
+
+
+def small_cluster(ranks=16):
+    spec = ClusterSpec(
+        tiers=(
+            TierSpec(DRAM, 16 * MB),
+            TierSpec(NVME, 32 * MB),
+            TierSpec(BURST_BUFFER, 64 * MB),
+        )
+    ).scaled_for(ranks)
+    return SimulatedCluster(spec)
+
+
+def small_workload():
+    return partitioned_sequential_workload(
+        processes=8, steps=3, bytes_per_proc_step=2 * MB, compute_time=0.05
+    )
+
+
+def hfetch_config(**overrides):
+    base = dict(engine_interval=0.05, engine_update_threshold=20)
+    base.update(overrides)
+    return HFetchConfig(**base)
+
+
+def run_hfetch(fault_plan=None, config=None, seed=2020):
+    """One full HFetch run; returns the runner (result in runner.run())."""
+    runner = WorkflowRunner(
+        small_cluster(),
+        small_workload(),
+        HFetchPrefetcher(config if config is not None else hfetch_config()),
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+    result = runner.run()
+    return runner, result
+
+
+# expected totals of small_workload(): 8 procs x 3 steps x 2 segments
+EXPECTED_READS = 48
+EXPECTED_BYTES = 48 * MB
+
+
+def assert_no_lost_segments(runner, result):
+    """Every read was served and the exclusive-cache invariant holds."""
+    assert result.hits + result.misses == EXPECTED_READS
+    assert result.bytes_read == EXPECTED_BYTES
+    runner.ctx.hierarchy.check_invariants()
+
+
+@pytest.fixture
+def cluster():
+    return small_cluster()

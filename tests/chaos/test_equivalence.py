@@ -1,0 +1,105 @@
+"""Zero-overhead-when-disabled and end-to-end determinism.
+
+An empty :class:`FaultPlan` must install nothing: results are identical
+to a run without the fault subsystem, byte for byte.  And any run —
+faulty or not — must be exactly reproducible from ``(seed, plan)``.
+"""
+
+from repro.faults import FaultPlan
+from repro.metrics import format_run_results
+from repro.prefetchers import NoPrefetcher, ParallelPrefetcher
+from repro.runtime.runner import WorkflowRunner
+
+from .conftest import run_hfetch, small_cluster, small_workload
+
+
+def result_signature(result):
+    """Every observable of a run, as one comparable value."""
+    return (
+        result.row(),
+        result.end_to_end_time,
+        result.read_time,
+        result.hits,
+        result.misses,
+        result.bytes_read,
+        result.bytes_prefetched,
+        result.tier_hits,
+        result.ram_peak_bytes,
+        result.evictions,
+        result.faults,
+    )
+
+
+class TestEmptyPlanEquivalence:
+    def test_hfetch_empty_plan_identical_to_no_plan(self):
+        runner_none, result_none = run_hfetch(fault_plan=None)
+        runner_empty, result_empty = run_hfetch(fault_plan=FaultPlan.empty())
+        assert result_signature(result_none) == result_signature(result_empty)
+        assert format_run_results([result_none]) == format_run_results([result_empty])
+        # nothing was installed at all
+        assert runner_empty.injector is None
+        assert runner_empty.prefetcher.server.queue.chaos is None
+        assert runner_empty.prefetcher.server.io_clients.fault_hook is None
+        # and the server-side counters agree exactly
+        assert (
+            runner_none.prefetcher.server.metrics()
+            == runner_empty.prefetcher.server.metrics()
+        )
+
+    def test_baselines_accept_empty_plan(self):
+        for make_pf in (NoPrefetcher, ParallelPrefetcher):
+            plain = WorkflowRunner(small_cluster(), small_workload(), make_pf()).run()
+            with_plan = WorkflowRunner(
+                small_cluster(),
+                small_workload(),
+                make_pf(),
+                fault_plan=FaultPlan.empty(),
+            ).run()
+            assert result_signature(plain) == result_signature(with_plan)
+
+    def test_faults_dict_empty_without_plan(self):
+        _, result = run_hfetch()
+        assert result.faults == {}
+
+
+class TestEndToEndDeterminism:
+    """Two runs with the same seed (and plan) → byte-identical reports."""
+
+    def test_clean_runs_are_byte_identical(self):
+        _, a = run_hfetch(seed=2020)
+        _, b = run_hfetch(seed=2020)
+        assert result_signature(a) == result_signature(b)
+        assert format_run_results([a]) == format_run_results([b])
+
+    def test_chaos_runs_are_byte_identical(self):
+        plan = (
+            FaultPlan(seed=2027)
+            .tier_outage("NVMe", at=0.05, duration=0.05)
+            .event_drop(0.1)
+            .prefetch_io_error(0.2)
+        )
+        runner_a, a = run_hfetch(fault_plan=plan, seed=2027)
+        runner_b, b = run_hfetch(fault_plan=plan, seed=2027)
+        assert result_signature(a) == result_signature(b)
+        assert format_run_results([a]) == format_run_results([b])
+        assert runner_a.injector.log == runner_b.injector.log
+
+    def test_different_seeds_may_differ_but_each_replays(self):
+        plan = FaultPlan(seed=1).event_drop(0.3)
+        _, a1 = run_hfetch(fault_plan=plan)
+        _, a2 = run_hfetch(fault_plan=plan)
+        assert result_signature(a1) == result_signature(a2)
+        other = FaultPlan(seed=2).event_drop(0.3)
+        _, b1 = run_hfetch(fault_plan=other)
+        _, b2 = run_hfetch(fault_plan=other)
+        assert result_signature(b1) == result_signature(b2)
+
+    def test_baseline_determinism_with_plan(self):
+        plan = FaultPlan(seed=3).tier_outage("RAM", at=0.02)
+        a = WorkflowRunner(
+            small_cluster(), small_workload(), ParallelPrefetcher(), fault_plan=plan
+        ).run()
+        b = WorkflowRunner(
+            small_cluster(), small_workload(), ParallelPrefetcher(), fault_plan=plan
+        ).run()
+        assert result_signature(a) == result_signature(b)

@@ -1,0 +1,106 @@
+"""FaultSpec / FaultPlan: validation, windows, serialisation, fingerprints."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_timed_window(self):
+        spec = FaultSpec(FaultKind.TIER_OUTAGE, at=5.0, duration=3.0, target="NVMe")
+        assert spec.until == 8.0
+        assert spec.recovers
+        assert not spec.active_at(4.999)
+        assert spec.active_at(5.0)
+        assert spec.active_at(7.999)
+        assert not spec.active_at(8.0)
+
+    def test_open_ended_window(self):
+        spec = FaultSpec(FaultKind.TIER_OUTAGE, at=1.0, target="RAM")
+        assert math.isinf(spec.until)
+        assert not spec.recovers
+        assert spec.active_at(1e12)
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TIER_OUTAGE, at=-1.0, target="RAM")
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TIER_OUTAGE, duration=0.0, target="RAM")
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TIER_OUTAGE)  # missing tier target
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.SHARD_OUTAGE, target="not-an-int")
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.SHARD_OUTAGE, target=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.EVENT_DROP, probability=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.EVENT_DROP, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.DEVICE_SLOWDOWN, target="RAM", factor=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.PREFETCH_IO_ERROR, target=3)
+
+    def test_dict_round_trip(self):
+        specs = [
+            FaultSpec(FaultKind.TIER_OUTAGE, at=5.0, duration=3.0, target="NVMe"),
+            FaultSpec(FaultKind.TIER_OUTAGE, at=5.0, target="NVMe"),  # inf duration
+            FaultSpec(FaultKind.SHARD_OUTAGE, at=1.0, duration=2.0, target=0),
+            FaultSpec(FaultKind.EVENT_DROP, probability=0.25),
+            FaultSpec(FaultKind.DEVICE_SLOWDOWN, at=2.0, target="RAM", factor=4.0),
+            FaultSpec(FaultKind.PREFETCH_IO_ERROR, probability=0.5, target="RAM"),
+        ]
+        for spec in specs:
+            assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty(seed=7)
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.seed == 7
+
+    def test_builders_compose_immutably(self):
+        base = FaultPlan(seed=11)
+        plan = (
+            base.tier_outage("NVMe", at=5.0, duration=3.0)
+            .event_drop(0.05)
+            .prefetch_io_error(0.1, tier="RAM")
+            .shard_outage(2, at=1.0)
+            .device_slowdown("RAM", factor=2.0, at=0.5, duration=1.0)
+            .event_duplicate(0.01)
+            .event_reorder(0.02)
+        )
+        assert base.is_empty  # builders never mutate
+        assert len(plan) == 7
+        assert plan.seed == 11
+        kinds = [s.kind for s in plan]
+        assert kinds[0] is FaultKind.TIER_OUTAGE
+        assert kinds[-1] is FaultKind.EVENT_REORDER
+
+    def test_by_kind(self):
+        plan = FaultPlan().event_drop(0.1).tier_outage("RAM", at=1.0).event_drop(0.2)
+        drops = plan.by_kind(FaultKind.EVENT_DROP)
+        assert [s.probability for s in drops] == [0.1, 0.2]
+        assert len(plan.by_kind(FaultKind.TIER_OUTAGE, FaultKind.EVENT_DROP)) == 3
+
+    def test_json_round_trip_and_fingerprint(self):
+        plan = (
+            FaultPlan(seed=42)
+            .tier_outage("NVMe", at=5.0, duration=3.0)
+            .event_drop(0.05, at=1.0, duration=10.0)
+            .prefetch_io_error(1.0)
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+        # fingerprint is sensitive to both specs and seed
+        assert FaultPlan(seed=43, specs=plan.specs).fingerprint() != plan.fingerprint()
+        assert plan.event_drop(0.5).fingerprint() != plan.fingerprint()
+
+    def test_rejects_non_spec_entries(self):
+        with pytest.raises(ValueError):
+            FaultPlan(specs=("nope",))

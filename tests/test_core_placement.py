@@ -203,3 +203,64 @@ def test_zero_score_segments_not_placed():
     auditor._dirty[SegmentKey("/f", 4)] = None
     run_pass(env, engine)
     assert hier.locate(SegmentKey("/f", 4)) is None
+
+
+# ------------------------------------------------- placement invariants
+def assert_placement_invariants(hier):
+    """Each segment in at most one tier; per-tier score bounds ordered."""
+    hier.check_invariants()  # exclusivity + ledger/resident agreement
+    for tier in hier.tiers:
+        # bounds are advisory (lazily maintained) and may be stale for an
+        # empty tier, but an occupied tier must keep them ordered
+        if tier.resident_count:
+            assert tier.min_score <= tier.max_score
+
+
+def test_invariants_hold_under_mixed_operation_sequence():
+    """Drive Algorithm 1 through an adversarial mix of placements,
+    demotions (via hot newcomers) and invalidations, checking the
+    exclusive-cache invariant after every step."""
+    env, engine, auditor, hier, io = build(
+        ram_cap=2 * MB, nvme_cap=3 * MB, bb_cap=4 * MB, lookahead_depth=0
+    )
+    # scripted but adversarial: repeated re-heats force demotion chains,
+    # invalidation drops everything mid-sequence, then the tiers refill
+    sequence = [
+        ("touch", 0, 6), ("pass",), ("touch", 1, 4), ("pass",),
+        ("touch", 2, 8), ("touch", 3, 8), ("pass",),        # demote 0/1
+        ("touch", 4, 2), ("touch", 5, 2), ("pass",),        # fill lower tiers
+        ("invalidate",),
+        ("touch", 6, 5), ("touch", 0, 1), ("pass",),        # refill after drop
+        ("touch", 7, 9), ("touch", 8, 9), ("touch", 9, 9), ("pass",),
+    ]
+    for step in sequence:
+        if step[0] == "touch":
+            _, idx, times = step
+            # stamp at the sim clock so no access is ever "in the future"
+            for _ in range(times):
+                touch(auditor, idx, t=env.now, times=1)
+        elif step[0] == "pass":
+            run_pass(env, engine)
+        elif step[0] == "invalidate":
+            engine.invalidate_file("/f")
+            assert all(
+                hier.locate(SegmentKey("/f", i)) is None for i in range(10)
+            )
+        assert_placement_invariants(hier)
+    # the sequence must actually have exercised demotions
+    assert engine.segments_demoted >= 1
+    assert engine.segments_placed >= 5
+
+
+def test_invariants_hold_with_demote_to_bottom_and_eviction():
+    env, engine, auditor, hier, io = build(
+        ram_cap=1 * MB, nvme_cap=1 * MB, bb_cap=1 * MB, lookahead_depth=0
+    )
+    # four hot waves through a 3-slot hierarchy: someone falls off the end
+    for wave, idx in enumerate(range(4)):
+        for _ in range(4 + wave):
+            touch(auditor, idx, t=env.now, times=1)
+        run_pass(env, engine)
+        assert_placement_invariants(hier)
+    resident = [hier.locate(SegmentKey("/f", i)) for i in range(4)]
+    assert sum(1 for r in resident if r is not None) <= 3

@@ -117,3 +117,68 @@ def test_half_life_consistent_with_score():
     hl = score_half_life(3, 4.0)
     s = segment_score([0.0], refs=3, now=hl, p=4.0)
     assert s == pytest.approx(0.5)
+
+
+# ------------------------------------------------- property-based (Eq. 1)
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+ACCESS_TIMES = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=16
+)
+REFS = st.integers(min_value=1, max_value=64)
+P_BASE = st.floats(min_value=2.0, max_value=64.0, allow_nan=False)
+
+
+class TestScoringProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(times=ACCESS_TIMES, refs=REFS, p=P_BASE, dt=st.floats(min_value=1e-3, max_value=1e3))
+    def test_decay_is_monotone_in_time(self, times, refs, p, dt):
+        """Eq. 1: with no new accesses, score only decays as t advances."""
+        now = max(times)
+        early = segment_score(times, refs, now, p)
+        late = segment_score(times, refs, now + dt, p)
+        assert late <= early
+        assert late >= 0  # mathematically positive; float64 may underflow to 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(times=ACCESS_TIMES, refs=REFS, p=P_BASE, dt=st.floats(min_value=0.0, max_value=1e3))
+    def test_more_refs_never_decay_faster(self, times, refs, p, dt):
+        """The n in (1/p)^(age/n) stretches the half-life: a segment with
+        more lifetime references always scores at least as high."""
+        now = max(times) + dt
+        assert segment_score(times, refs + 1, now, p) >= segment_score(times, refs, now, p)
+
+    @settings(max_examples=200, deadline=None)
+    @given(times=ACCESS_TIMES, refs=REFS, p=P_BASE, dt=st.floats(min_value=0.0, max_value=1e3))
+    def test_score_bounded_by_access_count(self, times, refs, p, dt):
+        # each access contributes a term in (0, 1]; deep decay may underflow
+        now = max(times) + dt
+        s = segment_score(times, refs, now, p)
+        assert 0 <= s <= len(times)
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=ACCESS_TIMES, refs=REFS, dt=st.floats(min_value=1e-3, max_value=1e3))
+    def test_larger_p_never_scores_higher(self, times, refs, dt):
+        now = max(times) + dt
+        scores = [segment_score(times, refs, now, p) for p in (2.0, 4.0, 8.0, 16.0)]
+        assert scores == sorted(scores, reverse=True)
+
+    @settings(max_examples=100, deadline=None)
+    @given(refs=REFS, p=st.floats(min_value=1.0, max_value=1.999, allow_nan=False))
+    def test_p_below_two_always_rejected(self, refs, p):
+        """Paper boundary: the decay base must satisfy p >= 2."""
+        with pytest.raises(ValueError):
+            segment_score([0.0], refs=refs, now=1.0, p=p)
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=ACCESS_TIMES, refs=REFS, p=P_BASE)
+    def test_half_life_halves_the_single_access_score(self, times, refs, p):
+        hl = score_half_life(refs, p)
+        assert segment_score([0.0], refs, hl, p) == pytest.approx(0.5)
+        # and for a full history: advancing by one half-life halves the score
+        now = max(times)
+        assert segment_score(times, refs, now + hl, p) == pytest.approx(
+            0.5 * segment_score(times, refs, now, p)
+        )

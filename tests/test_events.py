@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.config import HFetchConfig
+from repro.core.monitor import HardwareMonitor
 from repro.events.inotify import SimInotify
 from repro.events.queue import EventQueue
 from repro.events.types import CapacityEvent, EventType, FileEvent
@@ -149,3 +151,89 @@ def test_watch_event_counter():
     for _ in range(3):
         ino.emit(EventType.READ, "f", 0, 1)
     assert ino.watch_of("f").events_seen == 3
+
+
+# --------------------------------------------- monitor drain regressions
+class _StubAuditor:
+    def __init__(self):
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append(event)
+
+    def on_events(self, events):
+        self.seen.extend(events)
+
+
+def make_monitor(env, queue, batch=4, daemons=2):
+    config = HFetchConfig(monitor_batch_size=batch, daemon_threads=daemons)
+    return HardwareMonitor(env, config, queue, _StubAuditor())
+
+
+def test_pop_ready_on_empty_queue_returns_immediately():
+    q = EventQueue(Environment())
+    assert q.pop_ready(8) == []
+
+
+def test_batched_monitor_idles_on_empty_queue():
+    """Regression: monitor_batch_size > 1 with no pending events must
+    neither block the simulation nor busy-spin the clock forward."""
+    env = Environment()
+    q = EventQueue(env)
+    monitor = make_monitor(env, q, batch=4)
+    monitor.start()
+    env.run()  # a busy-spinning daemon would keep this from returning
+    assert env.now == 0.0
+    assert q.consumed == 0 and monitor.file_events == 0
+    monitor.stop()
+
+
+def test_batched_monitor_drains_then_idles():
+    env = Environment()
+    q = EventQueue(env)
+    monitor = make_monitor(env, q, batch=4)
+    monitor.start()
+    for i in range(3):
+        q.push(FileEvent(EventType.READ, "f", offset=i, size=1, timestamp=0.0))
+    env.run()
+    assert monitor.file_events == 3
+    before = env.now
+    env.run()  # nothing left: the pool parks without advancing time
+    assert env.now == before
+    monitor.stop()
+
+
+@pytest.mark.parametrize("batch", [1, 4])
+def test_stopped_monitor_does_not_swallow_events(batch):
+    """Regression: daemons interrupted while blocked on ``pop()`` must
+    withdraw their pending getters, or a later push is silently eaten."""
+    env = Environment()
+    q = EventQueue(env)
+    monitor = make_monitor(env, q, batch=batch)
+    monitor.start()
+    env.run()  # daemons are now parked on empty pops
+    monitor.stop()
+    env.run()
+    q.push(FileEvent(EventType.READ, "f", offset=0, size=1, timestamp=0.0))
+    assert q.level == 1  # still here — no orphaned getter stole it
+
+    # and a fresh consumer actually receives it
+    got = []
+
+    def consumer(env):
+        item = yield q.pop()
+        got.append(item)
+
+    env.process(consumer(env))
+    env.run()
+    assert len(got) == 1
+
+
+def test_queue_cancel_withdraws_pending_getter():
+    env = Environment()
+    q = EventQueue(env)
+    get = q.pop()
+    assert q.cancel(get)
+    assert not q.cancel(get)  # second withdraw is a no-op
+    q.push("x")
+    assert q.level == 1  # the cancelled getter no longer consumes
