@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI smoke: one instrumented benchmark run must export a valid trace.
+
+Runs a quick HFetch simulation with telemetry enabled, exports the
+Chrome ``trace_event`` JSON, validates it against the trace schema, and
+asserts the issue's acceptance criterion: at least one filesystem event
+is traceable end-to-end through queue -> auditor -> DHM -> placement ->
+data movement.  Exits non-zero on any violation.
+
+Usage::
+
+    python benchmarks/trace_smoke.py [output.trace.json]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import (  # noqa: E402
+    ClusterSpec,
+    HFetchConfig,
+    HFetchPrefetcher,
+    SimulatedCluster,
+    Telemetry,
+    WorkflowRunner,
+)
+from repro.runtime.cluster import TierSpec  # noqa: E402
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    flow_paths,
+    load_trace,
+    validate_chrome_trace,
+)
+from repro.workloads.synthetic import (  # noqa: E402
+    partitioned_sequential_workload,
+)
+
+MB = 1 << 20
+
+PIPELINE = {
+    "fs.emit",
+    "queue.pop",
+    "auditor.fold",
+    "dhm.update",
+    "engine.place",
+    "io.move_done",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out = Path(argv[0]) if argv else Path(tempfile.gettempdir()) / "trace_smoke.json"
+
+    workload = partitioned_sequential_workload(
+        processes=16, steps=3, bytes_per_proc_step=2 * MB, compute_time=0.05
+    )
+    cluster = SimulatedCluster(
+        ClusterSpec(
+            tiers=(
+                TierSpec(DRAM, 32 * MB),
+                TierSpec(NVME, 64 * MB),
+                TierSpec(BURST_BUFFER, 128 * MB),
+            )
+        ).scaled_for(workload.num_processes)
+    )
+    tel = Telemetry(label="trace-smoke", sample_interval=0.1)
+    result = WorkflowRunner(
+        cluster,
+        workload,
+        HFetchPrefetcher(HFetchConfig(engine_interval=0.05)),
+        telemetry=tel,
+    ).run()
+
+    tel.export_chrome_trace(out)
+    data = load_trace(out)
+
+    n = validate_chrome_trace(data)  # raises TraceValidationError on violation
+    print(f"trace: {out} — {n} events validated against the trace schema")
+
+    paths = flow_paths(data)
+    full = [
+        fid for fid, spans in paths.items()
+        if PIPELINE <= {s["name"] for s in spans}
+    ]
+    if not full:
+        print(
+            "FAIL: no fs event traceable end-to-end through "
+            "queue -> auditor -> DHM -> placement -> movement",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"flows: {len(paths)} traced, {len(full)} complete "
+        "(emit -> queue -> auditor -> DHM -> placement -> movement)"
+    )
+
+    headline = result.extra.get("telemetry")
+    if not headline or headline.get("trace_spans", 0) <= 0:
+        print("FAIL: RunResult.extra carries no telemetry headline", file=sys.stderr)
+        return 1
+    print(
+        f"headline: {headline['trace_spans']} spans, "
+        f"event->place p99 = {headline['event_to_place_p99_s'] * 1e3:.2f} ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

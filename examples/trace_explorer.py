@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Trace explorer: instrument one HFetch run and query the span trace.
+
+Runs a small HFetch simulation with telemetry enabled, exports the
+Chrome ``trace_event`` JSON (open it at https://ui.perfetto.dev) and the
+JSONL metric dump, then answers a few questions straight from the trace:
+
+* how long does one filesystem event take to reach a placement decision
+  (p50 / p99 of ``fs.emit`` -> ``engine.place``)?
+* how long until the data movement it triggered completes
+  (``fs.emit`` -> ``io.move_done``)?
+* what does the life of the single slowest event look like, stage by
+  stage?
+
+Run:  python examples/trace_explorer.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    ClusterSpec,
+    HFetchConfig,
+    HFetchPrefetcher,
+    SimulatedCluster,
+    Telemetry,
+    WorkflowRunner,
+)
+from repro.runtime.cluster import TierSpec
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.telemetry import flow_latencies, flow_paths, percentile
+from repro.workloads.synthetic import partitioned_sequential_workload
+
+MB = 1 << 20
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("traces")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    workload = partitioned_sequential_workload(
+        processes=16, steps=4, bytes_per_proc_step=2 * MB, compute_time=0.05
+    )
+    cluster = SimulatedCluster(
+        ClusterSpec(
+            tiers=(
+                TierSpec(DRAM, 32 * MB),
+                TierSpec(NVME, 64 * MB),
+                TierSpec(BURST_BUFFER, 128 * MB),
+            )
+        ).scaled_for(workload.num_processes)
+    )
+
+    # 1) run instrumented: one Telemetry handle per run
+    tel = Telemetry(label="trace-explorer", sample_interval=0.1)
+    result = WorkflowRunner(
+        cluster,
+        workload,
+        HFetchPrefetcher(HFetchConfig(engine_interval=0.05)),
+        telemetry=tel,
+    ).run()
+
+    # 2) export both artefacts
+    trace_path = out_dir / "hfetch.trace.json"
+    metrics_path = out_dir / "hfetch.metrics.jsonl"
+    trace = tel.export_chrome_trace(trace_path)
+    tel.export_metrics_jsonl(metrics_path)
+    print(f"trace:   {trace_path}  ({len(trace['traceEvents'])} events; "
+          f"open at https://ui.perfetto.dev)")
+    print(f"metrics: {metrics_path}\n")
+
+    # 3) query the trace: event-to-placement and event-to-movement latency
+    for start, end, title in (
+        ("fs.emit", "engine.place", "event -> placement decision"),
+        ("fs.emit", "io.move_done", "event -> data movement done"),
+    ):
+        lat = [d for _, d in flow_latencies(trace, start, end)]
+        if not lat:
+            print(f"{title}: (no complete flows)")
+            continue
+        print(
+            f"{title}: n={len(lat)}  "
+            f"p50={percentile(lat, 0.50) * 1e3:.2f} ms  "
+            f"p99={percentile(lat, 0.99) * 1e3:.2f} ms  "
+            f"max={max(lat) * 1e3:.2f} ms"
+        )
+
+    # 4) the life of the slowest event, stage by stage
+    placed = flow_latencies(trace, "fs.emit", "io.move_done")
+    if placed:
+        slowest, total = max(placed, key=lambda item: item[1])
+        path = flow_paths(trace)[slowest]
+        print(f"\nslowest traced event (flow {slowest}, {total * 1e3:.2f} ms "
+              "from emit to movement):")
+        t0 = path[0]["ts"]
+        for span in path:
+            args = {
+                k: v for k, v in span.get("args", {}).items() if k != "flow"
+            }
+            detail = "  ".join(f"{k}={v}" for k, v in sorted(args.items()))
+            print(f"  +{(span['ts'] - t0) * 1e3:8.3f} ms  "
+                  f"{span['name']:<16} [{span['track']}]  {detail}")
+
+    # 5) the console summary the runner also folds into RunResult.extra
+    print()
+    print(tel.summary_table())
+    print(f"\nrun: {result.hits} hits / {result.misses} misses, "
+          f"hit ratio {result.hit_ratio:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,6 +60,7 @@ from repro.runtime.cluster import ClusterSpec, SimulatedCluster
 from repro.runtime.runner import WorkflowRunner, run_workload
 from repro.sim.core import Environment
 from repro.storage.segments import SegmentKey
+from repro.telemetry.handle import NullTelemetry, Telemetry
 from repro.workloads.spec import (
     AppSpec,
     FileDecl,
@@ -85,6 +86,7 @@ __all__ = [
     "KnowAcPrefetcher",
     "MetricsCollector",
     "NoPrefetcher",
+    "NullTelemetry",
     "ParallelPrefetcher",
     "Prefetcher",
     "ProcessSpec",
@@ -95,6 +97,7 @@ __all__ = [
     "SimulatedCluster",
     "StackerPrefetcher",
     "StepSpec",
+    "Telemetry",
     "TierBudget",
     "WorkflowRunner",
     "WorkloadSpec",

@@ -78,6 +78,25 @@ class FileSegmentAuditor:
         self.score_updates = 0
         self.invalidations = 0
         self.dirty_dropped = 0
+        # telemetry (None in normal runs: zero overhead)
+        self.telemetry = None
+        self._tel_env = None
+        self._fold_mark = None
+        self._dhm_mark = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Open the fold/DHM-update trace streams on a live handle."""
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        self.telemetry = tel
+        self._tel_env = tel.tracer.env
+        self._fold_mark = tel.tracer.stream(
+            "auditor.fold", "auditor", "auditor", fields=("segments",)
+        ).append
+        self._dhm_mark = tel.tracer.stream("dhm.update", "dhm", "dhm").append
 
     # -- wiring ----------------------------------------------------------------
     def add_update_listener(self, fn: Callable[[int], None]) -> None:
@@ -190,6 +209,11 @@ class FileSegmentAuditor:
         file_streams = self._file_streams
         READ = EventType.READ
         WRITE = EventType.WRITE
+        tel = self.telemetry
+        key_flow = tel.key_flow if tel is not None else None
+        tel_env = self._tel_env
+        fold_mark = self._fold_mark
+        dhm_mark = self._dhm_mark
         # file_id -> (file, segment_size, last_index, last_nbytes) | None
         files: dict[str, Optional[tuple]] = {}
         processed = 0
@@ -234,6 +258,8 @@ class FileSegmentAuditor:
                 node_shard = node % nshards
                 for index in range(first, last + 1):
                     key = SegmentKey(fid, index)
+                    if key_flow is not None:
+                        key_flow[key] = event.eid
                     sid = 0 if nshards == 1 else shard_of(key)
                     shard = local_shard(sid)
                     stats = shard.get(key)
@@ -283,6 +309,10 @@ class FileSegmentAuditor:
                 if fstreams is None:
                     file_streams[fid] = fstreams = {}
                 fstreams[stream] = None
+                if fold_mark is not None:
+                    now = tel_env.now
+                    fold_mark((now, event.eid, last - first + 1))
+                    dhm_mark((now, event.eid))
             elif etype is WRITE:
                 self._on_write(event)
             # OPEN/CLOSE: epochs are driven by the agent manager (below).
@@ -309,13 +339,20 @@ class FileSegmentAuditor:
         keys = f.read_segments(event.offset, event.size)
         stream = (event.file_id, event.pid)
         prev = self._last_segment.get(stream)
+        tel = self.telemetry
         for key in keys:
+            if tel is not None:
+                tel.key_flow[key] = event.eid
             nbytes = f.segment_bytes(key)
             self._record_access(key, nbytes, event.timestamp, prev, event.node)
             prev = key
         if keys:
             self._last_segment[stream] = keys[-1]
             self._file_streams.setdefault(event.file_id, {})[stream] = None
+            if tel is not None:
+                now = self._tel_env.now
+                self._fold_mark((now, event.eid, len(keys)))
+                self._dhm_mark((now, event.eid))
 
     def _record_access(
         self,

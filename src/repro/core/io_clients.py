@@ -98,6 +98,52 @@ class IOClientPool:
         self.moves_failed = 0
         self.move_retries = 0
         self.demand_fallbacks = 0
+        # telemetry (None in normal runs: zero overhead)
+        self.telemetry = None
+        self._h_move = None
+        self._c_retries = None
+        self._c_errors = None
+        self._move_marks: dict[str, Callable] = {}
+        self._done_marks: dict[str, Callable] = {}
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Register I/O-client metrics into a live telemetry handle."""
+        from repro.telemetry.handle import live as _live
+
+        tel = _live(telemetry)
+        if tel is None:
+            return
+        self.telemetry = tel
+        reg = tel.registry
+        self._h_move = reg.histogram("io.move_latency_s")
+        self._c_retries = reg.counter("io.retries")
+        self._c_errors = reg.counter("io.errors")
+        reg.gauge("io.backlog", fn=lambda: self.backlog)
+        # one trace stream pair per destination tier (workers of a tier
+        # share the tier's track); move latency is folded from the
+        # ``issued`` column at end of run, off the movement hot path
+        tracer = tel.tracer
+        done_streams = []
+        for tier in self.hierarchy.tiers:
+            track = f"io-{tier.name}"
+            self._move_marks[tier.name] = tracer.stream(
+                "io.move", "io", track, kind="span", fields=("n", "bytes")
+            ).append
+            done = tracer.stream(
+                "io.move_done", "io", track,
+                fields=("src", "dst", "bytes", "issued"),
+            )
+            done_streams.append(done)
+            self._done_marks[tier.name] = done.append
+
+        def _fold_move_latency() -> None:
+            observe = self._h_move.observe_many
+            for s in done_streams:
+                buf = s.buf
+                if buf:
+                    observe(ts - t0 for ts, t0 in zip(buf[0::6], buf[5::6]))
+
+        tel.add_finalizer(_fold_move_latency)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -166,7 +212,9 @@ class IOClientPool:
         except Interrupt:
             return
 
-    def _execute_batch(self, batch: list[MoveInstruction], dst_name: str) -> Generator:
+    def _execute_batch(
+        self, batch: list[MoveInstruction], dst_name: str
+    ) -> Generator:
         start = self.env.now
         dst = self._tier_or_none(dst_name)
         if dst is not None and not dst.available:
@@ -217,6 +265,17 @@ class IOClientPool:
         self.moves_completed += len(batch)
         self.bytes_moved += total
         self.move_time += self.env.now - start
+        tel = self.telemetry
+        if tel is not None:
+            now = self.env.now
+            self._move_marks[dst_name]((start, now, None, len(batch), total))
+            done_mark = self._done_marks[dst_name]
+            key_flow = tel.key_flow
+            for ins in batch:
+                done_mark(
+                    (now, key_flow.get(ins.key), ins.src_name,
+                     ins.dst_name, ins.nbytes, ins.issued_at)
+                )
 
     def _fail_move(self, ins: MoveInstruction) -> None:
         """Handle one failed movement: bounded retry, then demand fallback.
@@ -229,6 +288,8 @@ class IOClientPool:
         """
         if ins.retries < self.max_retries:
             self.move_retries += 1
+            if self._c_retries is not None:
+                self._c_retries.inc()
             if self.failure_listener is not None:
                 self.failure_listener("prefetch_retry")
             src = self._tier_or_none(ins.src_name)
@@ -239,6 +300,8 @@ class IOClientPool:
             return
         self.moves_failed += 1
         self.demand_fallbacks += 1
+        if self._c_errors is not None:
+            self._c_errors.inc()
         if self.in_flight.get(ins.key) == ins.src_name:
             self.in_flight.pop(ins.key, None)
         if self.hierarchy.resident_tier_name(ins.key) == ins.dst_name:

@@ -56,6 +56,23 @@ class HardwareMonitor:
         self.file_events = 0
         self.capacity_events = 0
         self.busy_time = 0.0
+        # telemetry (None in normal runs: zero overhead)
+        self.telemetry = None
+        self._h_batch = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Register monitor metrics into a live telemetry handle."""
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        self.telemetry = tel
+        reg = tel.registry
+        # batch sizes are small integers: lo=1, doubling buckets
+        self._h_batch = reg.histogram("monitor.batch_size", lo=1.0, growth=2.0, buckets=16)
+        reg.gauge("monitor.busy_time_s", fn=lambda: self.busy_time)
+        reg.gauge("monitor.file_events", fn=lambda: self.file_events)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -92,6 +109,14 @@ class HardwareMonitor:
         if self.config.monitor_batch_size > 1:
             yield from self._daemon_loop_batched(index)
             return
+        tel = self.telemetry
+        service_mark = (
+            tel.tracer.stream(
+                "monitor.service", "monitor", f"hm-daemon-{index}", kind="span"
+            ).append
+            if tel is not None
+            else None
+        )
         try:
             while True:
                 get = self.queue.pop()
@@ -119,6 +144,8 @@ class HardwareMonitor:
                     self.tier_free[event.tier_name] = event.free_bytes
                     self.capacity_events += 1
                 self.busy_time += self.env.now - start
+                if service_mark is not None:
+                    service_mark((start, self.env.now, getattr(event, "eid", None)))
         except Interrupt:
             return
 
@@ -132,6 +159,15 @@ class HardwareMonitor:
         auditor fold) per batch instead of per event.
         """
         limit = self.config.monitor_batch_size
+        tel = self.telemetry
+        batch_mark = (
+            tel.tracer.stream(
+                "monitor.batch", "monitor", f"hm-daemon-{index}",
+                kind="span", fields=("n", "files"),
+            ).append
+            if tel is not None
+            else None
+        )
         try:
             while True:
                 get = self.queue.pop()
@@ -143,6 +179,8 @@ class HardwareMonitor:
                 start = self.env.now
                 batch = [event]
                 batch.extend(self.queue.pop_ready(limit - 1))
+                if tel is not None:
+                    self._h_batch.observe(float(len(batch)))
                 # per-event processing work on this daemon thread
                 yield self.env.timeout(self.config.event_service_time * len(batch))
                 file_events: list[FileEvent] = []
@@ -165,6 +203,10 @@ class HardwareMonitor:
                     finally:
                         self._auditor_lock.release(req)
                 self.busy_time += self.env.now - start
+                if batch_mark is not None:
+                    batch_mark(
+                        (start, self.env.now, None, len(batch), len(file_events))
+                    )
         except Interrupt:
             return
 

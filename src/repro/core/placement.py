@@ -96,7 +96,25 @@ class PlacementEngine:
         self.plan_time = 0.0
         self.tier_failures = 0
         self.segments_rehomed = 0
+        # telemetry (None in normal runs: zero overhead)
+        self.telemetry = None
+        self._h_dirty = None
+        self._place_mark = None
+        self._key_flow = None
         auditor.add_update_listener(self._on_score_update)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Open the placement-decision trace stream on a live handle."""
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        self.telemetry = tel
+        self._key_flow = tel.key_flow
+        self._place_mark = tel.tracer.stream(
+            "engine.place", "engine", "engine", fields=("tier", "score")
+        ).append
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> None:
@@ -147,6 +165,19 @@ class PlacementEngine:
         if not dirty:
             return
         self.passes += 1
+        tel = self.telemetry
+        pass_span = None
+        if tel is not None:
+            if self._h_dirty is None:
+                self._h_dirty = tel.registry.histogram(
+                    "engine.dirty_batch", lo=1.0, growth=2.0, buckets=24
+                )
+            self._h_dirty.observe(float(len(dirty)))
+            pass_span = tel.tracer.begin(
+                "engine.pass", track="engine", cat="engine", dirty=len(dirty)
+            )
+            placed_before = self.segments_placed
+            demoted_before = self.segments_demoted
         start = self.env.now
         now = self.env.now
         scores = self.auditor.batch_score(dirty, now)
@@ -175,6 +206,12 @@ class PlacementEngine:
                 continue
             self._calculate_placement(key, nbytes, score, 0)
         self.plan_time += self.env.now - start
+        if pass_span is not None:
+            tel.tracer.end(
+                pass_span,
+                placed=self.segments_placed - placed_before,
+                demoted=self.segments_demoted - demoted_before,
+            )
 
     def _add_lookahead(
         self, key: SegmentKey, score: float, candidates: dict[SegmentKey, float]
@@ -326,6 +363,9 @@ class PlacementEngine:
                 )
             )
         self.segments_placed += 1
+        mark = self._place_mark
+        if mark is not None:
+            mark((self.env.now, self._key_flow.get(key), tier.name, score))
 
     def _origin_of(self, key: SegmentKey) -> str:
         if self.auditor.fs.exists(key.file_id):

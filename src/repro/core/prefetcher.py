@@ -42,6 +42,7 @@ class HFetchPrefetcher(Prefetcher):
             ctx.hierarchy,
             comm=ctx.comm,
             dhm_shards=self.dhm_shards,
+            telemetry=ctx.telemetry,
         )
         self.server.start()
 

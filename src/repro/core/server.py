@@ -46,12 +46,16 @@ class HFetchServer:
         comm: Optional[NodeCommunicator] = None,
         dhm_shards: int = 1,
         heatmap_store: Optional[HeatmapStore] = None,
+        telemetry=None,
     ):
+        from repro.telemetry.handle import live
+
         self.env = env
         self.config = config
         self.fs = fs
         self.hierarchy = hierarchy
         self.comm = comm
+        self.telemetry = tel = live(telemetry)
 
         self.inotify = SimInotify(env)
         self.queue = EventQueue(env, capacity=config.event_queue_capacity)
@@ -93,6 +97,32 @@ class HFetchServer:
         # writes on watched files invalidate prefetched data (§III-B)
         self.auditor.invalidate_hook = self._invalidate_file
         self._started = False
+        if tel is not None:
+            self._bind_telemetry(tel)
+
+    def _bind_telemetry(self, tel) -> None:
+        """Distribute the live telemetry handle across every component."""
+        self.inotify.bind_telemetry(tel)
+        self.queue.bind_telemetry(tel)
+        self.auditor.bind_telemetry(tel)
+        self.monitor.bind_telemetry(tel)
+        self.engine.bind_telemetry(tel)
+        self.io_clients.bind_telemetry(tel)
+        self.hierarchy.bind_telemetry(tel)
+        self.stats_map.bind_telemetry(tel, prefix="dhm.stats")
+        self.agent_manager.mapping_map.bind_telemetry(tel, prefix="dhm.mapping")
+        reg = tel.registry
+        reg.gauge("auditor.pending_updates", fn=lambda: self.auditor.pending_updates)
+        reg.gauge("auditor.score_updates", fn=lambda: self.auditor.score_updates)
+        reg.gauge(
+            "auditor.events_processed", fn=lambda: self.auditor.events_processed
+        )
+        reg.gauge("engine.passes", fn=lambda: self.engine.passes)
+        reg.gauge("engine.placed", fn=lambda: self.engine.segments_placed)
+        reg.gauge("engine.demoted", fn=lambda: self.engine.segments_demoted)
+        reg.gauge("io.bytes_moved", fn=lambda: self.io_clients.bytes_moved)
+        reg.gauge("io.moves_failed", fn=lambda: self.io_clients.moves_failed)
+        reg.gauge("io.move_retries", fn=lambda: self.io_clients.move_retries)
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> None:

@@ -141,6 +141,36 @@ class DistributedHashMap:
         self.shard_failures = 0
         self.shard_recoveries = 0
         self.staged_merged = 0
+        # telemetry (None in normal runs: zero overhead)
+        self._h_op = None
+        self._h_batch_cost = None
+
+    def bind_telemetry(self, telemetry, prefix: str = "dhm") -> None:
+        """Register this map's metrics under ``prefix`` in a live handle."""
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        reg = tel.registry
+        # per-op costs sit around 2e-7..5e-6 s — start buckets below them
+        self._h_op = reg.histogram(f"{prefix}.op_cost_s", lo=1e-8)
+        self._h_batch_cost = reg.histogram(f"{prefix}.batch_cost_s", lo=1e-8)
+        # Per-op cost is a pure function of shard locality, and the hot
+        # paths already count local/remote ops — so the per-op histogram
+        # is reconstructed *exactly* at end of run instead of paying an
+        # observation on every map operation.
+        start_local, start_remote = self.local_ops, self.remote_ops
+
+        def _fold_op_costs() -> None:
+            self._h_op.observe_batch(self.cost.local, self.local_ops - start_local)
+            self._h_op.observe_batch(self.cost.remote, self.remote_ops - start_remote)
+
+        tel.add_finalizer(_fold_op_costs)
+        reg.gauge(f"{prefix}.local_ops", fn=lambda: self.local_ops)
+        reg.gauge(f"{prefix}.remote_ops", fn=lambda: self.remote_ops)
+        reg.gauge(f"{prefix}.total_cost_s", fn=lambda: self.total_cost)
+        reg.gauge(f"{prefix}.degraded_ops", fn=lambda: self.degraded_ops)
 
     # -- shard plumbing ------------------------------------------------------
     @property
@@ -160,7 +190,8 @@ class DistributedHashMap:
     def _charge(self, key: Hashable, from_shard: Optional[int]) -> dict:
         shard_id = self.shard_of(key)
         is_local = from_shard is None or from_shard == shard_id
-        self.total_cost += self.cost.of(is_local)
+        c = self.cost.of(is_local)
+        self.total_cost += c
         if is_local:
             self.local_ops += 1
         else:
@@ -343,7 +374,10 @@ class DistributedHashMap:
         self.deletes += deletes
         self.local_ops += local_ops
         self.remote_ops += remote_ops
-        self.total_cost += local_ops * self.cost.local + remote_ops * self.cost.remote
+        cost = local_ops * self.cost.local + remote_ops * self.cost.remote
+        self.total_cost += cost
+        if self._h_batch_cost is not None and (local_ops or remote_ops):
+            self._h_batch_cost.observe(cost)
 
     # -- shard outage & recovery ---------------------------------------------------
     def _wal_state(self) -> dict:

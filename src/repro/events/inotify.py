@@ -16,6 +16,7 @@ Models the VFS-level event capture HFetch relies on (paper §III-B):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.events.queue import EventQueue
 from repro.events.types import EventType, FileEvent
@@ -46,6 +47,21 @@ class SimInotify:
         self.watches_removed = 0
         self.events_emitted = 0
         self.events_suppressed = 0  # accesses on unwatched files
+        #: live telemetry handle or None (normal runs: zero overhead)
+        self.telemetry: Any = None
+        self._emit_mark: Any = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Open the ``fs.emit`` trace stream on a live telemetry handle."""
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        self.telemetry = tel
+        self._emit_mark = tel.tracer.stream(
+            "fs.emit", "events", "inotify", fields=("etype", "file")
+        ).append
 
     # -- subscription -----------------------------------------------------
     def subscribe(self, queue: EventQueue) -> None:
@@ -131,6 +147,9 @@ class SimInotify:
         self.events_emitted += 1
         for queue in self._queues:
             queue.push(event)
+        mark = self._emit_mark
+        if mark is not None:
+            mark((event.timestamp, event.eid, etype.value, file_id))
         return event
 
     def __repr__(self) -> str:  # pragma: no cover

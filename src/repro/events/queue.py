@@ -46,6 +46,43 @@ class EventQueue:
         self.dropped = 0
         self._first_push: Optional[float] = None
         self._last_pop: Optional[float] = None
+        # telemetry (None in normal runs: zero overhead)
+        self.telemetry: Optional[Any] = None
+        self._h_dwell: Optional[Any] = None
+        self._pop_mark: Optional[Any] = None
+        self._drop_mark: Optional[Any] = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Register queue metrics into a live telemetry handle.
+
+        The dwell histogram is folded from the trace at end of run: an
+        event's dwell is exactly the gap between its ``fs.emit`` and
+        ``queue.pop`` marks (both already recorded for flow tracing),
+        so the pop hot path pays nothing for it.
+        """
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        self.telemetry = tel
+        self._pop_mark = tel.tracer.stream("queue.pop", "events", "queue").append
+        self._drop_mark = tel.tracer.stream("queue.drop", "events", "queue").append
+        reg = tel.registry
+        self._h_dwell = reg.histogram("queue.dwell_s")
+        # pushed/dropped mirror the queue's own attrs — sampled gauges,
+        # so the push hot path pays no per-event counter work
+        reg.gauge("queue.pushed", fn=lambda: self.produced)
+        reg.gauge("queue.dropped", fn=lambda: self.dropped)
+        reg.gauge("queue.level", fn=lambda: self.level)
+        reg.gauge("queue.max_level", fn=lambda: self.max_level)
+        reg.gauge("queue.dropped_total", fn=lambda: self.dropped)
+
+        def _fold_dwell() -> None:
+            for dt in tel.tracer.flow_latencies("fs.emit", "queue.pop").values():
+                self._h_dwell.observe(dt)
+
+        tel.add_finalizer(_fold_dwell)
 
     # -- producer side -------------------------------------------------------
     def push(self, event: Any) -> bool:
@@ -60,6 +97,11 @@ class EventQueue:
     def _push_one(self, event: Any) -> bool:
         if self._store.level >= self.capacity:
             self.dropped += 1
+            mark = self._drop_mark
+            if mark is not None:
+                eid = getattr(event, "eid", None)
+                if eid is not None:
+                    mark((self.env.now, eid))
             return False
         self._store.put(event)  # guaranteed immediate under the level check
         self.produced += 1
@@ -77,6 +119,13 @@ class EventQueue:
     def _on_pop(self, _event: Event) -> None:
         self.consumed += 1
         self._last_pop = self.env.now
+        mark = self._pop_mark
+        if mark is not None:
+            # the pop instant per consumed event; dwell is derived from
+            # this mark and ``fs.emit`` at end of run
+            eid = getattr(_event.value, "eid", None)
+            if eid is not None:
+                mark((self.env.now, eid))
 
     def cancel(self, get: Event) -> bool:
         """Withdraw a pending :meth:`pop` that has not fired.
@@ -100,6 +149,13 @@ class EventQueue:
         if items:
             self.consumed += len(items)
             self._last_pop = self.env.now
+            mark = self._pop_mark
+            if mark is not None:
+                now = self.env.now
+                for item in items:
+                    eid = getattr(item, "eid", None)
+                    if eid is not None:
+                        mark((now, eid))
         return items
 
     # -- introspection ---------------------------------------------------------

@@ -44,9 +44,14 @@ class RunResult:
         """1 − hit ratio."""
         return 1.0 - self.hit_ratio
 
-    def row(self) -> dict:
-        """Flat dict for table rendering."""
-        return {
+    def row(self, verbose: bool = False) -> dict:
+        """Flat dict for table rendering.
+
+        With ``verbose=True`` the fault budget and the telemetry headline
+        numbers (when the run was instrumented) are flattened in as
+        ``fault:*`` / ``tel:*`` columns.
+        """
+        row = {
             "solution": self.solution,
             "workload": self.workload,
             "time_s": round(self.end_to_end_time, 4),
@@ -55,6 +60,16 @@ class RunResult:
             "ram_peak_MB": round(self.ram_peak_bytes / (1 << 20), 1),
             "evictions": self.evictions,
         }
+        if verbose:
+            for kind in sorted(self.faults):
+                row[f"fault:{kind}"] = self.faults[kind]
+            telemetry = self.extra.get("telemetry")
+            if isinstance(telemetry, dict):
+                for key, value in telemetry.items():
+                    row[f"tel:{key}"] = (
+                        round(value, 6) if isinstance(value, float) else value
+                    )
+        return row
 
 
 class MetricsCollector:

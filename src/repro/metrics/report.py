@@ -29,7 +29,13 @@ def format_table(
     if not rows:
         return f"{title or 'table'}: (no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        # union of all rows' keys in first-seen order, so verbose rows
+        # with per-run extras (fault:* / tel:*) still line up
+        seen: dict[str, None] = {}
+        for row in rows:
+            for col in row:
+                seen[col] = None
+        columns = list(seen)
     cells = [[_cell(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
@@ -45,7 +51,9 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_run_results(results: Iterable, title: str | None = None) -> str:
+def format_run_results(
+    results: Iterable, title: str | None = None, verbose: bool = False
+) -> str:
     """Render :class:`~repro.metrics.collector.RunResult` objects."""
-    rows = [r.row() for r in results]
+    rows = [r.row(verbose=verbose) for r in results]
     return format_table(rows, title=title)

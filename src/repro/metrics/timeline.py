@@ -38,6 +38,8 @@ class TierOccupancySampler:
         hierarchy: StorageHierarchy,
         interval: float = 0.05,
         event_queue=None,
+        registry=None,
+        tracer=None,
     ):
         if interval <= 0:
             raise ValueError("sampling interval must be positive")
@@ -45,6 +47,13 @@ class TierOccupancySampler:
         self.hierarchy = hierarchy
         self.interval = interval
         self.event_queue = event_queue
+        #: optional :class:`repro.telemetry.registry.MetricRegistry`; when
+        #: set, every tick also snapshots the registry's gauges, giving
+        #: one shared timeline for occupancy and layer counters
+        self.registry = registry
+        #: optional :class:`repro.telemetry.tracer.SpanTracer`; when set,
+        #: every tick also enforces the tracer's stream retention cap
+        self.tracer = tracer
         self.samples: list[TierSample] = []
         self._proc: Optional[Process] = None
 
@@ -55,8 +64,16 @@ class TierOccupancySampler:
             self._proc = self.env.process(self._loop(), name="tier-sampler")
 
     def stop(self) -> None:
-        """Stop sampling."""
+        """Stop sampling, flushing a final sample at the stop instant.
+
+        Without the flush the tail of the run — everything after the last
+        whole interval — was invisible in the timeline, so short runs
+        (or ones ending right after a burst of placements) under-reported
+        final occupancy.
+        """
         if self._proc is not None and self._proc.is_alive:
+            if not self.samples or self.samples[-1].when < self.env.now:
+                self._sample()
             self._proc.interrupt("stop")
         self._proc = None
 
@@ -68,10 +85,18 @@ class TierOccupancySampler:
             queue_level=self.event_queue.level if self.event_queue is not None else 0,
         )
 
+    def _sample(self) -> None:
+        """Take one sample (and mirror it into the metric registry)."""
+        self.samples.append(self._snapshot())
+        if self.registry is not None:
+            self.registry.record_sample(self.env.now)
+        if self.tracer is not None:
+            self.tracer.enforce_caps()
+
     def _loop(self) -> Generator:
         try:
             while True:
-                self.samples.append(self._snapshot())
+                self._sample()
                 yield self.env.timeout(self.interval)
         except Interrupt:
             return

@@ -128,7 +128,12 @@ class SimulatedCluster:
         """The node layout."""
         return self.spec.topology
 
-    def context(self, metrics: Optional[MetricsCollector] = None, seed: int = 2020) -> RuntimeContext:
+    def context(
+        self,
+        metrics: Optional[MetricsCollector] = None,
+        seed: int = 2020,
+        telemetry=None,
+    ) -> RuntimeContext:
         """Fresh runtime context over this machine."""
         return RuntimeContext(
             env=self.env,
@@ -138,6 +143,7 @@ class SimulatedCluster:
             topology=self.topology,
             metrics=metrics if metrics is not None else MetricsCollector(),
             seed=seed,
+            telemetry=telemetry,
         )
 
     def __repr__(self) -> str:  # pragma: no cover

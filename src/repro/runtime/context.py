@@ -10,7 +10,7 @@ charged by exactly the same cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.metrics.collector import MetricsCollector
 from repro.network.comm import NodeCommunicator
@@ -20,6 +20,9 @@ from repro.storage.files import FileSystemModel, SimFile
 from repro.storage.hierarchy import StorageHierarchy
 from repro.storage.segments import SegmentKey
 from repro.storage.tier import StorageTier
+
+if TYPE_CHECKING:  # typing-only: telemetry is optional per run
+    from repro.telemetry.handle import Telemetry
 
 __all__ = ["ReadPlan", "RuntimeContext"]
 
@@ -56,6 +59,8 @@ class RuntimeContext:
     topology: ClusterTopology
     metrics: MetricsCollector = field(default_factory=MetricsCollector)
     seed: int = 2020
+    #: live telemetry handle for this run, or None (uninstrumented)
+    telemetry: "Optional[Telemetry]" = None
 
     def origin_tier(self, f: "SimFile | str") -> StorageTier:
         """The tier permanently holding a file's bytes."""

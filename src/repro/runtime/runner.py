@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # avoid a circular import; Prefetcher is typing-only here
     from repro.prefetchers.base import Prefetcher
 from repro.runtime.context import RuntimeContext
 from repro.sim.core import Environment, Event
+from repro.telemetry.handle import live
 from repro.workloads.spec import ProcessSpec, ReadOp, WorkloadSpec
 
 __all__ = ["WorkflowRunner", "run_workload"]
@@ -47,6 +48,7 @@ class WorkflowRunner:
         prefetcher: "Prefetcher",
         seed: int = 2020,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry=None,
     ):
         self.cluster = cluster
         self.workload = workload
@@ -54,7 +56,39 @@ class WorkflowRunner:
         self.fault_plan = fault_plan
         self.injector: Optional[FaultInjector] = None
         self.metrics = MetricsCollector()
-        self.ctx: RuntimeContext = cluster.context(metrics=self.metrics, seed=seed)
+        tel = live(telemetry)
+        if tel is not None:
+            tel.bind(cluster.env)
+        self.telemetry = tel
+        self._h_read_latency = (
+            tel.registry.histogram("read.latency_s") if tel is not None else None
+        )
+        # one runner.read trace stream per application rank; the read
+        # latency histogram is folded from the streams at end of run
+        # (a read's latency is its span's end - start), so the per-read
+        # hot path pays one stream append and nothing else
+        self._read_marks: dict = {}
+        if tel is not None:
+            read_streams = {
+                p.pid: tel.tracer.stream(
+                    "runner.read", "app", f"rank-{p.pid}",
+                    kind="span", fields=("file", "bytes"),
+                )
+                for p in workload.processes
+            }
+            self._read_marks = {p: s.append for p, s in read_streams.items()}
+
+            def _fold_read_latency() -> None:
+                observe = self._h_read_latency.observe_many
+                for s in read_streams.values():
+                    buf = s.buf
+                    if buf:
+                        observe(e - t0 for t0, e in zip(buf[0::5], buf[1::5]))
+
+            tel.add_finalizer(_fold_read_latency)
+        self.ctx: RuntimeContext = cluster.context(
+            metrics=self.metrics, seed=seed, telemetry=tel
+        )
         self._app_done: dict[str, Event] = {}
         self._app_procs: dict[str, list] = defaultdict(list)
 
@@ -62,9 +96,32 @@ class WorkflowRunner:
     def run(self) -> RunResult:
         """Execute the workload to completion and summarise it."""
         env = self.ctx.env
+        tel = self.telemetry
         self.workload.materialize(self.ctx.fs)
         self.prefetcher.attach(self.ctx)
         self.prefetcher.on_workload(self.workload)
+        sampler = None
+        run_span = None
+        if tel is not None:
+            self._register_run_gauges(tel)
+            if tel.sample_interval is not None:
+                from repro.metrics.timeline import TierOccupancySampler
+
+                sampler = TierOccupancySampler(
+                    env,
+                    self.ctx.hierarchy,
+                    interval=tel.sample_interval,
+                    registry=tel.registry,
+                    tracer=tel.tracer,
+                )
+                sampler.start()
+            run_span = tel.tracer.begin(
+                "run",
+                track="runner",
+                cat="run",
+                solution=self.prefetcher.name,
+                workload=self.workload.name,
+            )
         if self.fault_plan is not None and not self.fault_plan.is_empty:
             self.injector = FaultInjector(
                 env,
@@ -94,8 +151,15 @@ class WorkflowRunner:
         if self.injector is not None:
             self.injector.stop()
         self.prefetcher.detach()
+        if sampler is not None:
+            sampler.stop()
+        if run_span is not None:
+            tel.tracer.end(run_span, time_s=end_time - start_time)
 
         ram_peak = self._ram_peak()
+        extra = {"profile_cost": self.prefetcher.profile_cost()}
+        if tel is not None:
+            extra["telemetry"] = tel.headline()
         result = self.metrics.finalize(
             solution=self.prefetcher.name,
             workload=self.workload.name,
@@ -104,9 +168,25 @@ class WorkflowRunner:
             ram_peak_bytes=ram_peak,
             evictions=self.ctx.hierarchy.evictions
             + int(getattr(self.prefetcher, "cache_evictions", 0)),
-            extra={"profile_cost": self.prefetcher.profile_cost()},
+            extra=extra,
         )
         return result
+
+    def _register_run_gauges(self, tel) -> None:
+        """Expose the collector's headline counters as sampled gauges."""
+        metrics = self.metrics
+        reg = tel.registry
+        reg.gauge("reads.hits", fn=lambda: metrics.hits)
+        reg.gauge("reads.misses", fn=lambda: metrics.misses)
+        reg.gauge("reads.bytes", fn=lambda: metrics.bytes_read)
+        reg.gauge(
+            "prefetch.bytes", fn=lambda: self.prefetcher.bytes_prefetched
+        )
+        for tier in list(self.ctx.hierarchy.tiers) + [self.ctx.hierarchy.backing]:
+            reg.gauge(
+                f"reads.tier.{tier.name}",
+                fn=lambda name=tier.name: metrics.tier_hits.get(name, 0),
+            )
 
     # -- per-rank body --------------------------------------------------------------
     def _process_body(self, spec: ProcessSpec) -> Generator:
@@ -186,6 +266,8 @@ class WorkflowRunner:
             if cross:
                 yield from ctx.comm.bulk_transfer(0, 1, nbytes)
         duration = env.now - t0
+        if self.telemetry is not None:
+            self._read_marks[spec.pid]((t0, env.now, None, op.file_id, op.size))
 
         # per-segment accounting (duration attributed proportionally)
         total = sum(n for _k, _t, n in per_segment) or 1
@@ -218,10 +300,14 @@ def run_workload(
     cluster: Optional[SimulatedCluster] = None,
     seed: int = 2020,
     fault_plan: Optional[FaultPlan] = None,
+    telemetry=None,
 ) -> RunResult:
     """One-shot convenience: build a cluster (if needed), run, summarise."""
     if cluster is None:
         from repro.runtime.cluster import ClusterSpec
 
         cluster = SimulatedCluster(ClusterSpec().scaled_for(workload.num_processes))
-    return WorkflowRunner(cluster, workload, prefetcher, seed=seed, fault_plan=fault_plan).run()
+    return WorkflowRunner(
+        cluster, workload, prefetcher, seed=seed, fault_plan=fault_plan,
+        telemetry=telemetry,
+    ).run()

@@ -48,6 +48,27 @@ class StorageHierarchy:
         self.tier_recoveries = 0
         self.segments_displaced = 0
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Register ledger counters and per-tier occupancy as gauges."""
+        from repro.telemetry.handle import live
+
+        tel = live(telemetry)
+        if tel is None:
+            return
+        reg = tel.registry
+        reg.gauge("hierarchy.placements", fn=lambda: self.placements)
+        reg.gauge("hierarchy.evictions", fn=lambda: self.evictions)
+        reg.gauge("hierarchy.promotions", fn=lambda: self.promotions)
+        reg.gauge("hierarchy.demotions", fn=lambda: self.demotions)
+        reg.gauge(
+            "hierarchy.segments_displaced", fn=lambda: self.segments_displaced
+        )
+        for tier in self.tiers:
+            reg.gauge(f"tier.{tier.name}.used", fn=lambda t=tier: t.used)
+            reg.gauge(
+                f"tier.{tier.name}.resident", fn=lambda t=tier: t.resident_count
+            )
+
     # -- structure ---------------------------------------------------------
     def tier_index(self, tier: StorageTier) -> int:
         """Position of ``tier`` (0 = fastest). Backing is ``len(tiers)``."""

@@ -1,0 +1,132 @@
+"""Span-query helpers over exported Chrome traces.
+
+Works on the *exported* trace object (or file) rather than the live
+tracer, so post-mortem analysis needs nothing but the JSON a run left
+behind::
+
+    trace = load_trace("run.trace.json")
+    lat = flow_latencies(trace, "fs.emit", "engine.place")
+    print(percentile([d for _, d in lat], 0.99))
+
+Timestamps come back in virtual *seconds* (the exporter writes
+microseconds; these helpers convert back).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "load_trace",
+    "trace_spans",
+    "flow_paths",
+    "flow_latencies",
+    "percentile",
+    "span_durations",
+]
+
+_US = 1e6
+
+
+def load_trace(path: "str | Path") -> dict:
+    """Load an exported Chrome trace JSON file."""
+    return json.loads(Path(path).read_text())
+
+
+def trace_spans(trace: dict) -> list[dict]:
+    """Span/instant records of a trace, with seconds-based timestamps.
+
+    Each record: ``{"name", "ts", "dur", "tid", "track", "cat", "flow",
+    "args"}`` where ``flow`` is the fs-event id the span carries (None
+    otherwise) and ``track`` is the thread name the exporter's metadata
+    assigned to the span's ``tid``.  Metadata and flow-phase events are
+    filtered out.
+    """
+    events = trace.get("traceEvents", ())
+    track_names = {
+        ev.get("tid"): ev["args"]["name"]
+        for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name"
+    }
+    out = []
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        args = ev.get("args") or {}
+        tid = ev.get("tid", 0)
+        out.append(
+            {
+                "name": ev["name"],
+                "ts": ev["ts"] / _US,
+                "dur": ev.get("dur", 0.0) / _US,
+                "tid": tid,
+                "track": track_names.get(tid, str(tid)),
+                "cat": ev.get("cat", ""),
+                "flow": args.get("flow"),
+                "args": args,
+            }
+        )
+    return out
+
+
+def flow_paths(trace: dict) -> dict[int, list[dict]]:
+    """Flow id → its spans in virtual-time order (the event's journey)."""
+    paths: dict[int, list[dict]] = {}
+    for span in trace_spans(trace):
+        if span["flow"] is not None:
+            paths.setdefault(span["flow"], []).append(span)
+    for spans in paths.values():
+        spans.sort(key=lambda s: s["ts"])
+    return paths
+
+
+def flow_latencies(
+    trace: dict, start_name: str, end_name: str
+) -> list[tuple[int, float]]:
+    """Per-flow latency from the first ``start_name`` to the first
+    ``end_name`` span at-or-after it.
+
+    Returns ``(flow_id, seconds)`` pairs for every flow that passed
+    through both stages — e.g. ``("fs.emit", "engine.place")`` is the
+    event-to-placement-decision latency, ``("fs.emit", "io.move_done")``
+    the full event-to-data-movement latency.
+    """
+    out: list[tuple[int, float]] = []
+    for fid, spans in sorted(flow_paths(trace).items()):
+        start_ts: Optional[float] = None
+        for span in spans:
+            if span["name"] == start_name:
+                start_ts = span["ts"]
+                break
+        if start_ts is None:
+            continue
+        for span in spans:
+            if span["name"] == end_name and span["ts"] >= start_ts:
+                out.append((fid, span["ts"] - start_ts))
+                break
+    return out
+
+
+def span_durations(trace: dict, name: str) -> list[float]:
+    """Durations (seconds) of every span with the given name."""
+    return [s["dur"] for s in trace_spans(trace) if s["name"] == name]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Exact percentile (nearest-rank with linear interpolation)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile must be in [0, 1], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    frac = rank - lower
+    return ordered[lower] * (1 - frac) + ordered[upper] * frac

@@ -1,0 +1,117 @@
+"""JSON schema and validator for the exported Chrome ``trace_event`` file.
+
+The exporter targets the Trace Event Format's JSON-object form (the one
+Perfetto and ``about:tracing`` load): a top-level object with a
+``traceEvents`` array of phase-tagged event records.  CI validates every
+exported trace against this schema so a malformed exporter fails the
+build rather than producing a file Perfetto silently rejects.
+
+:data:`CHROME_TRACE_SCHEMA` is a standard JSON Schema (draft 2020-12)
+document; :func:`validate_chrome_trace` enforces it (plus a few
+cross-field rules JSON Schema cannot express) with no third-party
+dependency, and additionally runs ``jsonschema`` when that package is
+importable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["CHROME_TRACE_SCHEMA", "TraceValidationError", "validate_chrome_trace"]
+
+#: Phases the exporter may legally emit.
+_PHASES = {"X", "i", "s", "t", "f", "M"}
+
+CHROME_TRACE_SCHEMA: dict = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "Chrome trace_event JSON (repro.telemetry exporter subset)",
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string", "minLength": 1},
+                    "ph": {"enum": sorted(_PHASES)},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "cat": {"type": "string"},
+                    "id": {"type": ["integer", "string"]},
+                    "s": {"enum": ["g", "p", "t"]},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+}
+
+
+class TraceValidationError(ValueError):
+    """The exported trace does not conform to the Chrome trace format."""
+
+
+def _fail(index: int, message: str) -> None:
+    raise TraceValidationError(f"traceEvents[{index}]: {message}")
+
+
+def validate_chrome_trace(data: Any) -> int:
+    """Validate a loaded trace object; returns the number of events.
+
+    Raises :class:`TraceValidationError` on the first violation.  Checks
+    the structural schema plus cross-field rules: metadata events need
+    no timestamp, every other phase does; complete events need ``dur``;
+    flow events need ``id``.
+    """
+    if not isinstance(data, dict):
+        raise TraceValidationError(f"top level must be an object, got {type(data).__name__}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceValidationError("missing or non-array 'traceEvents'")
+    unit = data.get("displayTimeUnit")
+    if unit is not None and unit not in ("ms", "ns"):
+        raise TraceValidationError(f"displayTimeUnit must be 'ms' or 'ns', got {unit!r}")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            _fail(i, f"must be an object, got {type(ev).__name__}")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            _fail(i, f"missing or empty 'name': {name!r}")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            _fail(i, f"unknown phase {ph!r} (allowed: {sorted(_PHASES)})")
+        for field_name, types in (("pid", (int,)), ("tid", (int,))):
+            value = ev.get(field_name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(i, f"'{field_name}' must be a non-negative integer, got {value!r}")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+                _fail(i, f"'ts' must be a non-negative number, got {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                _fail(i, f"complete event needs non-negative 'dur', got {dur!r}")
+        if ph in ("s", "t", "f") and not isinstance(ev.get("id"), (int, str)):
+            _fail(i, f"flow event needs an 'id', got {ev.get('id')!r}")
+        args = ev.get("args")
+        if args is not None and not isinstance(args, dict):
+            _fail(i, f"'args' must be an object, got {type(args).__name__}")
+
+    try:  # belt-and-braces: full JSON Schema validation when available
+        import jsonschema  # type: ignore[import-untyped]
+    except ImportError:
+        pass
+    else:
+        try:
+            jsonschema.validate(data, CHROME_TRACE_SCHEMA)
+        except jsonschema.ValidationError as exc:  # pragma: no cover - mirrors manual checks
+            raise TraceValidationError(str(exc)) from exc
+    return len(events)

@@ -1,0 +1,69 @@
+"""Shared helpers for the telemetry suite: the chaos suite's small
+cluster/workload pair, extended with a telemetry argument."""
+
+from repro.core.config import HFetchConfig
+from repro.core.prefetcher import HFetchPrefetcher
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster, TierSpec
+from repro.runtime.runner import WorkflowRunner
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.workloads.synthetic import partitioned_sequential_workload
+
+MB = 1 << 20
+
+
+def small_cluster(ranks=16):
+    spec = ClusterSpec(
+        tiers=(
+            TierSpec(DRAM, 16 * MB),
+            TierSpec(NVME, 32 * MB),
+            TierSpec(BURST_BUFFER, 64 * MB),
+        )
+    ).scaled_for(ranks)
+    return SimulatedCluster(spec)
+
+
+def small_workload():
+    return partitioned_sequential_workload(
+        processes=8, steps=3, bytes_per_proc_step=2 * MB, compute_time=0.05
+    )
+
+
+def hfetch_config(**overrides):
+    base = dict(engine_interval=0.05, engine_update_threshold=20)
+    base.update(overrides)
+    return HFetchConfig(**base)
+
+
+def run_hfetch(telemetry=None, config=None, seed=2020):
+    """One full HFetch run; returns (runner, result)."""
+    runner = WorkflowRunner(
+        small_cluster(),
+        small_workload(),
+        HFetchPrefetcher(config if config is not None else hfetch_config()),
+        seed=seed,
+        telemetry=telemetry,
+    )
+    result = runner.run()
+    return runner, result
+
+
+def result_signature(result):
+    """Every observable of a run, as one comparable value.
+
+    ``extra`` is excluded on purpose: an instrumented run legitimately
+    adds ``extra["telemetry"]`` without perturbing any simulation
+    observable.
+    """
+    return (
+        result.row(),
+        result.end_to_end_time,
+        result.read_time,
+        result.hits,
+        result.misses,
+        result.bytes_read,
+        result.bytes_prefetched,
+        result.tier_hits,
+        result.ram_peak_bytes,
+        result.evictions,
+        result.faults,
+    )

@@ -1,0 +1,125 @@
+"""Counters, gauges, deterministic log-bucket histograms, sampling."""
+
+import math
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "name": "x", "value": 5}
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("x")
+        g.set(9)
+        assert g.read() == 9
+
+    def test_source_callable_wins(self):
+        state = {"v": 1}
+        g = Gauge("x", fn=lambda: state["v"])
+        state["v"] = 42
+        assert g.read() == 42
+        assert g.snapshot()["value"] == 42
+
+
+class TestHistogram:
+    def test_bucket_layout(self):
+        h = Histogram("lat", lo=1.0, growth=2.0, buckets=4)
+        # bucket 0: <=1; 1: (1,2]; 2: (2,4]; 3: (4, inf)
+        assert h.bucket_of(0.5) == 0
+        assert h.bucket_of(1.0) == 0
+        assert h.bucket_of(1.5) == 1
+        assert h.bucket_of(3.0) == 2
+        assert h.bucket_of(1e9) == 3
+        assert h.bucket_bounds() == [1.0, 2.0, 4.0, math.inf]
+
+    def test_stats(self):
+        h = Histogram("lat", lo=1.0, growth=2.0, buckets=8)
+        for v in (0.5, 1.5, 3.0, 3.0, 7.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 15.0
+        assert h.mean == 3.0
+        assert h.vmin == 0.5
+        assert h.vmax == 7.0
+
+    def test_quantiles_deterministic_and_clamped(self):
+        h = Histogram("lat", lo=1.0, growth=2.0, buckets=8)
+        for v in (0.5, 1.5, 3.0, 3.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.5  # clamped to vmin
+        assert h.quantile(1.0) == 7.0  # clamped to vmax
+        # p50: cumulative crosses 2.5 in bucket (2,4] -> upper bound 4.0
+        assert h.quantile(0.5) == 4.0
+        assert h.quantile(0.99) == 7.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.quantile(0.99) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0
+
+    def test_snapshot_sparse_buckets(self):
+        h = Histogram("lat", lo=1.0, growth=2.0, buckets=8)
+        h.observe(3.0)
+        h.observe(3.5)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"2": 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("x", lo=0)
+        with pytest.raises(ValueError):
+            Histogram("x", growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=1)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 2
+        assert reg.names() == ["a", "h"]
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_gauge_fn_rebind(self):
+        reg = MetricRegistry()
+        g = reg.gauge("g")
+        reg.gauge("g", fn=lambda: 11)
+        assert g.read() == 11
+
+    def test_record_sample_captures_gauges_only(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g", fn=lambda: 5)
+        row = reg.record_sample(when=1.25)
+        assert row == {"g": 5}
+        assert reg.samples == [(1.25, {"g": 5})]
+        assert reg.gauge_series("g") == [(1.25, 5)]
+
+    def test_collect_snapshots_everything(self):
+        reg = MetricRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        kinds = [s["type"] for s in reg.collect()]
+        assert kinds == ["counter", "gauge", "histogram"]

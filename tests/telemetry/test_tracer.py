@@ -1,0 +1,133 @@
+"""SpanTracer: nesting, ordering, flows, instants — under the DES clock."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.telemetry import SpanTracer
+
+
+def test_spans_take_virtual_timestamps():
+    env = Environment()
+    tracer = SpanTracer(env)
+
+    def proc():
+        span = tracer.begin("work", track="t")
+        yield env.timeout(1.5)
+        tracer.end(span)
+
+    env.process(proc())
+    env.run()
+    (span,) = tracer.spans
+    assert span.start == 0.0
+    assert span.end == 1.5
+    assert span.duration == 1.5
+    assert span.closed
+
+
+def test_nesting_depth_per_track():
+    env = Environment()
+    tracer = SpanTracer(env)
+    outer = tracer.begin("outer", track="a")
+    inner = tracer.begin("inner", track="a")
+    other = tracer.begin("elsewhere", track="b")
+    assert outer.depth == 0
+    assert inner.depth == 1
+    assert other.depth == 0  # depth is per track
+    assert tracer.current("a") is inner
+    tracer.end(inner)
+    assert tracer.current("a") is outer
+    tracer.end(outer)
+    tracer.end(other)
+    assert tracer.open_spans() == []
+
+
+def test_span_contextmanager_closes_on_exception():
+    env = Environment()
+    tracer = SpanTracer(env)
+    with pytest.raises(RuntimeError):
+        with tracer.span("guarded", track="t"):
+            raise RuntimeError("boom")
+    assert tracer.spans[0].closed
+
+
+def test_double_end_raises():
+    env = Environment()
+    tracer = SpanTracer(env)
+    span = tracer.begin("once", track="t")
+    tracer.end(span)
+    with pytest.raises(ValueError):
+        tracer.end(span)
+
+
+def test_end_merges_args():
+    env = Environment()
+    tracer = SpanTracer(env)
+    span = tracer.begin("x", track="t", a=1)
+    tracer.end(span, b=2)
+    assert span.args == {"a": 1, "b": 2}
+
+
+def test_instants_are_zero_duration():
+    env = Environment()
+    tracer = SpanTracer(env)
+
+    def proc():
+        yield env.timeout(0.25)
+        tracer.instant("mark", track="t", flow=7)
+
+    env.process(proc())
+    env.run()
+    (mark,) = tracer.spans
+    assert mark.phase == "i"
+    assert mark.start == mark.end == 0.25
+    assert mark.duration == 0.0
+    assert mark.flow == 7
+
+
+def test_track_ids_assigned_in_first_use_order():
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.instant("x", track="zulu")
+    tracer.instant("x", track="alpha")
+    tracer.instant("x", track="zulu")
+    assert tracer.tracks == {"zulu": 0, "alpha": 1}
+
+
+def test_flow_grouping_sorted_by_start():
+    env = Environment()
+    tracer = SpanTracer(env)
+
+    def proc():
+        tracer.instant("emit", track="a", flow=1)
+        yield env.timeout(0.1)
+        tracer.instant("fold", track="b", flow=1)
+        tracer.instant("emit", track="a", flow=2)
+        yield env.timeout(0.1)
+        tracer.instant("place", track="c", flow=1)
+
+    env.process(proc())
+    env.run()
+    flows = tracer.flows()
+    assert set(flows) == {1, 2}
+    assert [s.name for s in flows[1]] == ["emit", "fold", "place"]
+    assert [s.start for s in flows[1]] == [0.0, 0.1, 0.2]
+    assert tracer.by_flow(2)[0].name == "emit"
+
+
+def test_by_name():
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.instant("a", track="t")
+    tracer.instant("b", track="t")
+    tracer.instant("a", track="t")
+    assert len(tracer.by_name("a")) == 2
+
+
+def test_max_spans_cap_counts_drops():
+    env = Environment()
+    tracer = SpanTracer(env, max_spans=2)
+    tracer.instant("one", track="t")
+    tracer.instant("two", track="t")
+    tracer.instant("three", track="t")
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 1
