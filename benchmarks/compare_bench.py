@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Statistical regression gate: current build vs committed baselines.
+
+Runs a small set of fixed, seeded gate workloads and compares the
+result against the ``regression_gate`` block embedded in the committed
+``BENCH_*.json`` files:
+
+* **hit ratio** — deterministic given the seed, so the gate is tight:
+  the current ratio may not fall more than ``--hit-tolerance`` (default
+  0.02, one-sided) below the recorded baseline.  Improvements pass.
+* **wall clock** — noisy and machine dependent, so the recorded mean is
+  first rescaled by the ratio of a CPU-bound calibration loop timed on
+  both machines, then compared with a generous ``--wall-tolerance``
+  (default +50%).  Only slowdowns beyond the calibrated tolerance fail.
+* **read counts** — must match exactly; a mismatch means the gate
+  workload itself changed and the baseline must be re-recorded.
+
+Usage::
+
+    python benchmarks/compare_bench.py --update --label PR4   # record
+    python benchmarks/compare_bench.py --check                # gate (CI)
+
+``--check`` exits non-zero on any regression; baselines without a
+``regression_gate`` block are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+HIT_RATIO_TOLERANCE = 0.02
+WALL_CLOCK_TOLERANCE = 0.50
+REPEATS = 3
+GATE_SEED = 2020
+
+MB = 1 << 20
+
+
+def calibrate() -> float:
+    """Seconds for a fixed CPU-bound loop: the machine-speed scalar.
+
+    Recorded alongside the baseline; at check time the baseline's
+    wall-clock numbers are rescaled by ``now / recorded`` so a slower
+    (or faster) CI box doesn't trip (or mask) the wall-clock gate.
+    Median of three runs discards scheduler hiccups.
+    """
+    def once() -> float:
+        gc.collect()
+        start = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i * i
+        return time.perf_counter() - start
+
+    return statistics.median(once() for _ in range(3))
+
+
+def _run(workload, config=None):
+    from repro import (
+        ClusterSpec,
+        HFetchConfig,
+        HFetchPrefetcher,
+        SimulatedCluster,
+        WorkflowRunner,
+    )
+    from repro.runtime.cluster import TierSpec
+    from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+
+    cluster = SimulatedCluster(
+        ClusterSpec(
+            tiers=(
+                TierSpec(DRAM, 16 * MB),
+                TierSpec(NVME, 32 * MB),
+                TierSpec(BURST_BUFFER, 256 * MB),
+            )
+        ).scaled_for(workload.num_processes)
+    )
+    runner = WorkflowRunner(
+        cluster,
+        workload,
+        HFetchPrefetcher(
+            config
+            if config is not None
+            else HFetchConfig(engine_interval=0.05, engine_update_threshold=20)
+        ),
+        seed=GATE_SEED,
+    )
+    gc.collect()
+    start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - start
+    return wall, result
+
+
+def gate_workloads() -> dict:
+    """Name -> workload builder for the fixed gate set."""
+    from repro.workloads.montage import montage_workload
+    from repro.workloads.synthetic import partitioned_sequential_workload
+
+    return {
+        "synthetic": lambda: partitioned_sequential_workload(
+            processes=16, steps=4, bytes_per_proc_step=2 * MB, compute_time=0.05
+        ),
+        "montage": lambda: montage_workload(
+            processes=8, bytes_per_step=4 * MB, compute_time=0.05
+        ),
+    }
+
+
+def measure(repeats: int = REPEATS) -> dict:
+    """Run every gate workload ``repeats`` times; summarise."""
+    sys.path.insert(0, str(ROOT / "src"))
+    out: dict = {}
+    for name, build in gate_workloads().items():
+        walls: list[float] = []
+        hit_ratio = None
+        reads = None
+        for _ in range(repeats):
+            wall, result = _run(build())
+            walls.append(wall)
+            if hit_ratio is not None and result.hit_ratio != hit_ratio:
+                raise RuntimeError(
+                    f"gate workload {name!r} is not deterministic: "
+                    f"{result.hit_ratio} != {hit_ratio}"
+                )
+            hit_ratio = result.hit_ratio
+            reads = result.hits + result.misses
+        out[name] = {
+            "hit_ratio": hit_ratio,
+            "reads": reads,
+            "wall_s_mean": statistics.mean(walls),
+            "wall_s": walls,
+        }
+    return out
+
+
+def cmd_update(label: str, repeats: int) -> int:
+    target = ROOT / f"BENCH_{label}.json"
+    block = {
+        "seed": GATE_SEED,
+        "repeats": repeats,
+        "calibration_s": calibrate(),
+        "tolerances": {
+            "hit_ratio": HIT_RATIO_TOLERANCE,
+            "wall_clock_frac": WALL_CLOCK_TOLERANCE,
+        },
+        "workloads": measure(repeats),
+    }
+    data = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    data["regression_gate"] = block
+    target.write_text(json.dumps(data, indent=2))
+    print(f"recorded regression gate in {target.name}:")
+    for name, w in block["workloads"].items():
+        print(
+            f"  {name}: hit_ratio={w['hit_ratio']:.4f}  reads={w['reads']}"
+            f"  wall mean={w['wall_s_mean'] * 1e3:.1f} ms"
+        )
+    print(f"  calibration: {block['calibration_s'] * 1e3:.1f} ms")
+    return 0
+
+
+def cmd_check(repeats: int, hit_tol: float, wall_tol: float) -> int:
+    baselines = []
+    for path in sorted(ROOT.glob("BENCH_*.json")):
+        try:
+            gate = json.loads(path.read_text()).get("regression_gate")
+        except (json.JSONDecodeError, OSError):
+            continue
+        if gate:
+            baselines.append((path.name, gate))
+    if not baselines:
+        print("no BENCH_*.json with a regression_gate block; nothing to check")
+        return 0
+
+    cal_now = calibrate()
+    current = measure(repeats)
+    failures = []
+    for bench_name, gate in baselines:
+        scale = cal_now / gate["calibration_s"] if gate.get("calibration_s") else 1.0
+        h_tol = hit_tol if hit_tol is not None else (
+            gate.get("tolerances", {}).get("hit_ratio", HIT_RATIO_TOLERANCE)
+        )
+        w_tol = wall_tol if wall_tol is not None else (
+            gate.get("tolerances", {}).get("wall_clock_frac", WALL_CLOCK_TOLERANCE)
+        )
+        print(f"\n=== vs {bench_name} (machine scale {scale:.2f}x) ===")
+        for name, base in gate["workloads"].items():
+            cur = current.get(name)
+            if cur is None:
+                print(f"  {name}: gate workload no longer exists — SKIP")
+                continue
+            if cur["reads"] != base["reads"]:
+                failures.append(
+                    f"{bench_name}/{name}: read count changed "
+                    f"{base['reads']} -> {cur['reads']} (re-record the baseline)"
+                )
+                print(f"  {name}: reads {base['reads']} -> {cur['reads']}  FAIL")
+                continue
+            hit_floor = base["hit_ratio"] - h_tol
+            wall_limit = base["wall_s_mean"] * scale * (1.0 + w_tol)
+            hit_ok = cur["hit_ratio"] >= hit_floor
+            wall_ok = cur["wall_s_mean"] <= wall_limit
+            print(
+                f"  {name}: hit {base['hit_ratio']:.4f} -> {cur['hit_ratio']:.4f}"
+                f" (floor {hit_floor:.4f}) {'ok' if hit_ok else 'FAIL'}"
+                f"   wall {base['wall_s_mean'] * 1e3:.1f} ->"
+                f" {cur['wall_s_mean'] * 1e3:.1f} ms"
+                f" (limit {wall_limit * 1e3:.1f}) {'ok' if wall_ok else 'FAIL'}"
+            )
+            if not hit_ok:
+                failures.append(
+                    f"{bench_name}/{name}: hit ratio regressed "
+                    f"{base['hit_ratio']:.4f} -> {cur['hit_ratio']:.4f}"
+                )
+            if not wall_ok:
+                failures.append(
+                    f"{bench_name}/{name}: wall clock regressed "
+                    f"{base['wall_s_mean'] * scale * 1e3:.1f} ->"
+                    f" {cur['wall_s_mean'] * 1e3:.1f} ms (calibrated)"
+                )
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall regression gates passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--update", action="store_true",
+        help="record the current build as the gate baseline",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="gate the current build against every committed baseline",
+    )
+    parser.add_argument("--label", default="PR4", help="suffix of BENCH_<label>.json")
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--hit-tolerance", type=float, default=None,
+        help="override the baseline's one-sided hit-ratio tolerance",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=None,
+        help="override the baseline's fractional wall-clock tolerance",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        return cmd_update(args.label, args.repeats)
+    return cmd_check(args.repeats, args.hit_tolerance, args.wall_tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

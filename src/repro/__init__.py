@@ -35,6 +35,9 @@ Package layout:
 ``repro.workloads`` pattern generators, synthetic builders, Montage and WRF
 ``repro.runtime`` the simulated cluster and the workload runner
 ``repro.metrics`` collectors and table rendering
+``repro.telemetry`` zero-overhead tracing/metrics instrumentation
+``repro.diagnosis`` prefetch attribution, waste/drift analysis, oracle
+                  counterfactual (``python -m repro diagnose``)
 ``repro.experiments`` one module per paper figure + ablations
 ================  =============================================================
 """
@@ -43,6 +46,7 @@ from repro.core.config import HFetchConfig, TierBudget
 from repro.core.prefetcher import HFetchPrefetcher
 from repro.core.scoring import batch_scores, segment_score
 from repro.core.server import HFetchServer
+from repro.diagnosis import DiagnosisReport, ProvenanceLog
 from repro.metrics.collector import MetricsCollector, RunResult
 from repro.metrics.report import format_run_results, format_table
 from repro.prefetchers import (
@@ -76,6 +80,7 @@ __all__ = [
     "AppCentricPrefetcher",
     "AppSpec",
     "ClusterSpec",
+    "DiagnosisReport",
     "Environment",
     "FileDecl",
     "HFetchConfig",
@@ -90,6 +95,7 @@ __all__ = [
     "ParallelPrefetcher",
     "Prefetcher",
     "ProcessSpec",
+    "ProvenanceLog",
     "ReadOp",
     "RunResult",
     "SegmentKey",

@@ -7,6 +7,8 @@ Usage::
     python -m repro fig4b --divisor 16    # at a different scale
     python -m repro all --repeats 1       # everything (takes a while)
     python -m repro ablations             # the design-choice ablations
+    python -m repro diagnose              # prefetch attribution report
+    python -m repro diagnose --workload wrf --json diagnosis.json
 """
 
 from __future__ import annotations
@@ -32,8 +34,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "ablations", "all", "list"],
-        help="which figure to regenerate",
+        choices=[*EXPERIMENTS, "ablations", "all", "list", "diagnose"],
+        help="which figure to regenerate (or 'diagnose' for the "
+        "prefetch attribution / waste / oracle report)",
     )
     parser.add_argument(
         "--divisor", type=int, default=8,
@@ -42,6 +45,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=2, help="repeats per cell (paper: 5)"
     )
+    parser.add_argument(
+        "--workload", default="montage",
+        help="diagnose only: montage | wrf | synthetic (default montage)",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=16,
+        help="diagnose only: application ranks (default 16)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="diagnose only: also write the full report as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -49,6 +64,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:7s} {title}")
         print("  ablations  design-choice ablations (DESIGN.md §4)")
         print("  all        every figure + ablations")
+        print("  diagnose   prefetch attribution / waste / drift / oracle report")
+        return 0
+
+    if args.experiment == "diagnose":
+        from repro.diagnosis.cli import run_diagnose
+
+        run_diagnose(
+            workload=args.workload,
+            processes=args.processes,
+            json_path=args.json,
+        )
         return 0
 
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -34,7 +34,9 @@ class MoveInstruction:
     ``src_name`` is where the bytes are read from (a tier name, possibly
     the file's origin tier); ``dst_name`` is the tier the segment was
     ledger-placed on.  ``home_node`` records the segment's locality for
-    remote-read accounting.
+    remote-read accounting.  ``decision`` is the provenance id of the
+    placement decision that issued the move (−1 outside diagnosis runs);
+    retries preserve it, so a move lineage is attributable end to end.
     """
 
     key: SegmentKey
@@ -44,6 +46,7 @@ class MoveInstruction:
     home_node: int = 0
     issued_at: float = 0.0
     retries: int = 0
+    decision: int = -1
 
 
 class IOClientPool:
@@ -105,6 +108,8 @@ class IOClientPool:
         self._c_errors = None
         self._move_marks: dict[str, Callable] = {}
         self._done_marks: dict[str, Callable] = {}
+        # decision provenance (diagnosis runs only)
+        self._prov = None
 
     def bind_telemetry(self, telemetry) -> None:
         """Register I/O-client metrics into a live telemetry handle."""
@@ -114,6 +119,7 @@ class IOClientPool:
         if tel is None:
             return
         self.telemetry = tel
+        self._prov = tel.provenance
         reg = tel.registry
         self._h_move = reg.histogram("io.move_latency_s")
         self._c_retries = reg.counter("io.retries")
@@ -265,6 +271,12 @@ class IOClientPool:
         self.moves_completed += len(batch)
         self.bytes_moved += total
         self.move_time += self.env.now - start
+        prov = self._prov
+        if prov is not None:
+            for ins in batch:
+                prov.move_done(
+                    ins.decision, ins.key, ins.src_name, ins.dst_name, ins.nbytes
+                )
         tel = self.telemetry
         if tel is not None:
             now = self.env.now
@@ -304,8 +316,18 @@ class IOClientPool:
             self._c_errors.inc()
         if self.in_flight.get(ins.key) == ins.src_name:
             self.in_flight.pop(ins.key, None)
+        prov = self._prov
         if self.hierarchy.resident_tier_name(ins.key) == ins.dst_name:
-            self.hierarchy.evict(ins.key)
+            if prov is not None:
+                prov.evict_cause = "move-failed"
+                try:
+                    self.hierarchy.evict(ins.key)
+                finally:
+                    prov.evict_cause = "evicted"
+            else:
+                self.hierarchy.evict(ins.key)
+        if prov is not None:
+            prov.move_failed(ins.decision, ins.key, ins.nbytes)
         if self.failure_listener is not None:
             self.failure_listener("prefetch_error")
 

@@ -101,6 +101,10 @@ class PlacementEngine:
         self._h_dirty = None
         self._place_mark = None
         self._key_flow = None
+        # decision provenance (diagnosis runs only; same None pattern)
+        self._prov = None
+        self._plan_rank = -1
+        self._rehoming = False
         auditor.add_update_listener(self._on_score_update)
 
     def bind_telemetry(self, telemetry) -> None:
@@ -112,6 +116,7 @@ class PlacementEngine:
             return
         self.telemetry = tel
         self._key_flow = tel.key_flow
+        self._prov = tel.provenance
         self._place_mark = tel.tracer.stream(
             "engine.place", "engine", "engine", fields=("tier", "score")
         ).append
@@ -200,11 +205,17 @@ class PlacementEngine:
             candidates.items(),
             key=lambda kv: (-kv[1], self._rng.uniform()),
         )
-        for key, score in plan:
+        prov = self._prov
+        if prov is not None:
+            prov.snapshot(plan)
+        for rank, (key, score) in enumerate(plan):
             nbytes = self._segment_bytes(key)
             if nbytes is None or nbytes == 0:
                 continue
+            if prov is not None:
+                self._plan_rank = rank
             self._calculate_placement(key, nbytes, score, 0)
+        self._plan_rank = -1
         self.plan_time += self.env.now - start
         if pass_span is not None:
             tel.tracer.end(
@@ -341,7 +352,10 @@ class PlacementEngine:
             heapq.heappop(heap)
             victim_bytes = tier.size_of(victim)
             self.segments_demoted += 1
+            # cascade victims carry no plan rank of their own
+            outer_rank, self._plan_rank = self._plan_rank, -1
             self._calculate_placement(victim, victim_bytes, current, tier_idx + 1)
+            self._plan_rank = outer_rank
         top = self._peek_min(tier)
         tier.min_score = top if top is not None else math.inf
 
@@ -349,6 +363,22 @@ class PlacementEngine:
         src_name = self.io_clients.serving_tier_name(key)
         if src_name is None:
             src_name = self._origin_of(key)
+        prov = self._prov
+        decision = -1
+        if prov is not None:
+            current = self.hierarchy.locate(key)
+            if self._rehoming:
+                kind = "rehome"
+            elif current is None:
+                kind = "place"
+            elif self.hierarchy.tier_index(tier) < self.hierarchy.tier_index(current):
+                kind = "promote"
+            else:
+                kind = "demote"
+            decision = prov.decision(
+                key, kind, score, self._plan_rank, src_name, tier.name,
+                nbytes, src_name != tier.name,
+            )
         self.hierarchy.place(key, nbytes, tier)
         self._push(tier, key, score)
         if src_name != tier.name:
@@ -360,6 +390,7 @@ class PlacementEngine:
                     dst_name=tier.name,
                     home_node=self.auditor.home_node(key),
                     issued_at=self.env.now,
+                    decision=decision,
                 )
             )
         self.segments_placed += 1
@@ -372,9 +403,17 @@ class PlacementEngine:
             return self.auditor.fs.get(key.file_id).origin
         return self.hierarchy.backing.name
 
-    def _evict(self, key: SegmentKey) -> None:
+    def _evict(self, key: SegmentKey, cause: str = "rejected") -> None:
         self._scores.pop(key, None)
-        self.hierarchy.evict(key)
+        prov = self._prov
+        if prov is not None:
+            prov.evict_cause = cause
+            try:
+                self.hierarchy.evict(key)
+            finally:
+                prov.evict_cause = "evicted"
+        else:
+            self.hierarchy.evict(key)
         self.io_clients.drop_in_flight(key)
 
     # -- fault handling (tier outage & recovery) ----------------------------------
@@ -394,14 +433,25 @@ class PlacementEngine:
         self.tier_failures += 1
         now = self.env.now
         rehomed = 0
-        for key, nbytes in displaced:
-            self.io_clients.drop_in_flight(key)
-            score = self._scores.pop(key, None)
-            if score is None:
-                score = self.auditor.score_of(key, now)
-            self._calculate_placement(key, nbytes, score, idx + 1)
-            if self.hierarchy.locate(key) is not None:
-                rehomed += 1
+        prov = self._prov
+        if prov is not None:
+            # fail_tier drops residents without going through evict();
+            # record the displacement here so attribution sees the old
+            # copies die before the re-homing decisions are credited
+            for key, _nbytes in displaced:
+                prov.evict(key, tier.name, "displaced")
+            self._rehoming = True
+        try:
+            for key, nbytes in displaced:
+                self.io_clients.drop_in_flight(key)
+                score = self._scores.pop(key, None)
+                if score is None:
+                    score = self.auditor.score_of(key, now)
+                self._calculate_placement(key, nbytes, score, idx + 1)
+                if self.hierarchy.locate(key) is not None:
+                    rehomed += 1
+        finally:
+            self._rehoming = False
         self.segments_rehomed += rehomed
         return rehomed
 
@@ -414,7 +464,7 @@ class PlacementEngine:
         """Evict every cached segment of a rewritten file."""
         victims = [k for k in self._scores if k.file_id == file_id]
         for key in victims:
-            self._evict(key)
+            self._evict(key, cause="invalidated")
         return len(victims)
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -156,7 +156,17 @@ class HFetchServer:
     # -- internals --------------------------------------------------------------
     def _invalidate_file(self, file_id: str) -> None:
         self.engine.invalidate_file(file_id)
-        self.hierarchy.invalidate_file(file_id)
+        # stragglers the engine no longer tracks still count as
+        # consistency invalidations for the waste analyzer
+        prov = self.telemetry.provenance if self.telemetry is not None else None
+        if prov is not None:
+            prov.evict_cause = "invalidated"
+            try:
+                self.hierarchy.invalidate_file(file_id)
+            finally:
+                prov.evict_cause = "evicted"
+        else:
+            self.hierarchy.invalidate_file(file_id)
 
     # -- diagnostics -------------------------------------------------------------
     def metrics(self) -> dict:

@@ -1,0 +1,50 @@
+"""Prefetch attribution & diagnosis: causal accounting over a run.
+
+The diagnosis layer turns PR 3's trace firehose plus lightweight
+decision-provenance records into answers to the questions the paper's
+evaluation actually asks:
+
+* **attribution** — which Algorithm 1 placement (or demotion, or fault
+  re-homing) put each served segment in its tier, at what score and
+  heatmap rank, and how long before first use;
+* **waste** — every physical prefetch move classified as ``used`` /
+  ``evicted-unused`` / ``invalidated-unused`` / ``dead-on-arrival``,
+  with per-tier wasted bytes and device time;
+* **drift** — Kendall tau between Eq. 1 scores and actual next accesses
+  per engine pass, so decay (``p``, ``n``) misconfiguration shows as a
+  trend;
+* **oracle** — a clairvoyant ceiling per cumulative tier prefix (always
+  ≥ the actual hit ratio, by construction) and a demand-Belady baseline,
+  giving every run a "regret" headline.
+
+Enable per run with ``Telemetry(diagnosis=True)``::
+
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(label="demo", diagnosis=True)
+    result = run_workload(workload, HFetchPrefetcher(), telemetry=tel)
+    print(result.extra["diagnosis"])          # headline scalars
+    print(tel.diagnosis_report().console())   # full report
+
+or from the shell: ``python -m repro diagnose --workload montage``.
+"""
+
+from repro.diagnosis.attribution import Decision, ReplayResult, replay
+from repro.diagnosis.drift import analyze_drift, kendall_tau
+from repro.diagnosis.oracle import analyze_oracle
+from repro.diagnosis.provenance import ProvenanceLog
+from repro.diagnosis.report import DiagnosisReport
+from repro.diagnosis.waste import WASTE_CLASSES, analyze_waste
+
+__all__ = [
+    "ProvenanceLog",
+    "DiagnosisReport",
+    "Decision",
+    "ReplayResult",
+    "replay",
+    "analyze_waste",
+    "analyze_drift",
+    "analyze_oracle",
+    "kendall_tau",
+    "WASTE_CLASSES",
+]

@@ -1,0 +1,87 @@
+"""The ``python -m repro diagnose`` entry point.
+
+Runs one instrumented HFetch execution of a chosen workload with
+diagnosis enabled, prints the full console report (waste, attribution,
+drift, oracle) and optionally writes the machine-readable JSON dump::
+
+    python -m repro diagnose                       # montage, default scale
+    python -m repro diagnose --workload wrf
+    python -m repro diagnose --processes 32 --json diagnosis.json
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["run_diagnose", "DIAGNOSE_WORKLOADS"]
+
+MB = 1 << 20
+
+DIAGNOSE_WORKLOADS = ("montage", "wrf", "synthetic")
+
+
+def _build_workload(name: str, processes: int):
+    if name == "montage":
+        from repro.workloads.montage import montage_workload
+
+        return montage_workload(
+            processes=processes, bytes_per_step=4 * MB, compute_time=0.05
+        )
+    if name == "wrf":
+        from repro.workloads.wrf import wrf_workload
+
+        return wrf_workload(
+            processes=processes, total_bytes=processes * 16 * MB, compute_time=0.05
+        )
+    if name == "synthetic":
+        from repro.workloads.synthetic import partitioned_sequential_workload
+
+        return partitioned_sequential_workload(
+            processes=processes, steps=6, bytes_per_proc_step=2 * MB,
+            compute_time=0.05,
+        )
+    raise ValueError(f"unknown workload {name!r}; pick one of {DIAGNOSE_WORKLOADS}")
+
+
+def run_diagnose(
+    workload: str = "montage",
+    processes: int = 16,
+    seed: int = 2020,
+    json_path: Optional[str] = None,
+    verbose: bool = True,
+):
+    """Run one diagnosis-instrumented HFetch execution and report.
+
+    Returns ``(RunResult, DiagnosisReport)`` so tests and notebooks can
+    reuse the same path the CLI takes.
+    """
+    from repro import (
+        ClusterSpec,
+        HFetchConfig,
+        HFetchPrefetcher,
+        SimulatedCluster,
+        Telemetry,
+        WorkflowRunner,
+    )
+
+    wl = _build_workload(workload, processes)
+    cluster = SimulatedCluster(ClusterSpec().scaled_for(wl.num_processes))
+    telemetry = Telemetry(label=f"diagnose-{workload}", diagnosis=True)
+    runner = WorkflowRunner(
+        cluster, wl, HFetchPrefetcher(HFetchConfig(seed=seed)),
+        seed=seed, telemetry=telemetry,
+    )
+    result = runner.run()
+    report = telemetry.diagnosis_report()
+    if verbose:
+        print(
+            f"workload={wl.name} processes={wl.num_processes} "
+            f"hit_ratio={result.hit_ratio:.1%} "
+            f"time={result.end_to_end_time:.3f}s\n"
+        )
+        print(report.console())
+    if json_path is not None:
+        report.to_json(json_path)
+        if verbose:
+            print(f"\nwrote {json_path}")
+    return result, report

@@ -1,0 +1,118 @@
+"""Score-vs-reality drift tracking (is Eq. 1 still predicting access?).
+
+Each engine pass snapshot (captured by the provenance log) records the
+head of the hotness-sorted plan: ``(t, ((sid, score), ...))``.  Offline,
+every snapshot is scored by the Kendall rank correlation (tau-b, tie
+corrected) between the Eq. 1 score ordering and the segments' *actual*
+next-access order after ``t`` — a segment the heatmap ranks hot should
+be accessed soon.  tau ≈ +1 means the decay parameters (``p``, ``n``)
+track the workload; a downward *trend* across the run is the signature
+of misconfigured decay (scores going stale faster than they are
+refreshed), which is exactly what the report surfaces: the tau time
+series, its mean, first-half vs second-half means, and a least-squares
+slope per unit virtual time.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Optional, Sequence
+
+from repro.diagnosis.provenance import EV_READ
+
+__all__ = ["kendall_tau", "analyze_drift"]
+
+
+def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
+    """Kendall tau-b of two paired sequences (tie corrected).
+
+    O(n²) pair counting — snapshots are capped at ~64 entries, so this
+    stays trivially cheap.  Returns ``None`` when either sequence is
+    constant (tau undefined).
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("paired sequences must have equal length")
+    if n < 2:
+        return None
+    concordant = discordant = ties_x = ties_y = 0
+    for i in range(n - 1):
+        xi, yi = xs[i], ys[i]
+        for j in range(i + 1, n):
+            dx, dy = xs[j] - xi, ys[j] - yi
+            # inf - inf is nan: equal infinities are ties
+            if xi == xs[j]:
+                dx = 0.0
+            if yi == ys[j]:
+                dy = 0.0
+            if dx == 0.0 and dy == 0.0:
+                ties_x += 1
+                ties_y += 1
+            elif dx == 0.0:
+                ties_x += 1
+            elif dy == 0.0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    n0 = n * (n - 1) // 2
+    denom = math.sqrt((n0 - ties_x) * (n0 - ties_y))
+    if denom == 0.0:
+        return None
+    return (concordant - discordant) / denom
+
+
+def analyze_drift(prov) -> dict:
+    """Tau-per-snapshot series plus trend statistics."""
+    # per-sid sorted read times (events are already time ordered)
+    read_times: dict[int, list[float]] = {}
+    for ev in prov.events:
+        if ev[0] == EV_READ:
+            read_times.setdefault(ev[2], []).append(ev[1])
+
+    series: list[tuple[float, float, int]] = []  # (t, tau, n)
+    inf = math.inf
+    for t, entries in prov.snapshots:
+        if len(entries) < 2:
+            continue
+        scores = [s for _sid, s in entries]
+        # imminence: negative next-access time, so that a *positive* tau
+        # means hot scores predict soon accesses; never-read-again
+        # segments tie at the far end
+        imminence = []
+        for sid, _s in entries:
+            times = read_times.get(sid)
+            if times is None:
+                imminence.append(-inf)
+                continue
+            i = bisect_right(times, t)
+            imminence.append(-times[i] if i < len(times) else -inf)
+        tau = kendall_tau(scores, imminence)
+        if tau is not None:
+            series.append((t, tau, len(entries)))
+
+    out: dict = {
+        "snapshots": len(prov.snapshots),
+        "scored_snapshots": len(series),
+        "series": [(round(t, 6), round(tau, 4), n) for t, tau, n in series],
+    }
+    if not series:
+        return out
+    taus = [tau for _t, tau, _n in series]
+    out["tau_mean"] = sum(taus) / len(taus)
+    half = len(taus) // 2
+    if half:
+        out["tau_first_half_mean"] = sum(taus[:half]) / half
+        out["tau_second_half_mean"] = sum(taus[half:]) / (len(taus) - half)
+    # least-squares slope of tau over virtual time (drift per second)
+    ts = [t for t, _tau, _n in series]
+    t_mean = sum(ts) / len(ts)
+    tau_mean = out["tau_mean"]
+    var = sum((t - t_mean) ** 2 for t in ts)
+    if var > 0.0:
+        out["tau_slope_per_s"] = (
+            sum((t - t_mean) * (tau - tau_mean) for t, tau in zip(ts, taus)) / var
+        )
+    return out

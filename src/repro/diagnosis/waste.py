@@ -1,0 +1,59 @@
+"""Waste accounting over the replay's move-lineage classification.
+
+Aggregates the per-move classes produced by
+:func:`repro.diagnosis.attribution.replay` into the numbers the report
+prints: counts per class (their sum equals the total number of physical
+prefetch moves — the tested invariant), wasted bytes per destination
+tier, and an estimate of the *device time* those wasted moves burned
+(read at the source + write at the destination, from the device
+profiles' bandwidth and latency — an estimate because in-run transfers
+share the pipes; the report labels it as such).
+"""
+
+from __future__ import annotations
+
+from repro.diagnosis.attribution import WASTE_CLASSES, USED, ReplayResult
+
+__all__ = ["analyze_waste", "WASTE_CLASSES"]
+
+
+def analyze_waste(prov, rep: ReplayResult) -> dict:
+    """Fold move classes into the waste summary dict."""
+    classes = {cls: 0 for cls in WASTE_CLASSES}
+    wasted_bytes: dict[str, int] = {}
+    wasted_time: dict[str, float] = {}
+    used_bytes = 0
+    total_bytes = 0
+    bw = prov.tier_bandwidths
+    lat = prov.tier_latencies
+
+    for did, cls in rep.move_class.items():
+        dec = rep.decisions[did]
+        classes[cls] += 1
+        total_bytes += dec.nbytes
+        if cls == USED:
+            used_bytes += dec.nbytes
+            continue
+        wasted_bytes[dec.dst] = wasted_bytes.get(dec.dst, 0) + dec.nbytes
+        # device seconds the wasted move occupied: source read + fabric-
+        # independent destination write, per the device profiles
+        cost = 0.0
+        if dec.src in bw:
+            cost += lat.get(dec.src, 0.0) + dec.nbytes / bw[dec.src]
+        if dec.dst in bw:
+            cost += lat.get(dec.dst, 0.0) + dec.nbytes / bw[dec.dst]
+        wasted_time[dec.dst] = wasted_time.get(dec.dst, 0.0) + cost
+
+    total = len(rep.move_class)
+    return {
+        "total_moves": total,
+        "classes": classes,
+        "used_fraction": classes[USED] / total if total else 0.0,
+        "moved_bytes": total_bytes,
+        "used_bytes": used_bytes,
+        "wasted_bytes": total_bytes - used_bytes,
+        "wasted_bytes_by_tier": dict(sorted(wasted_bytes.items())),
+        "wasted_device_time_s_by_tier": {
+            k: round(v, 6) for k, v in sorted(wasted_time.items())
+        },
+    }

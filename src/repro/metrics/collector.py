@@ -33,7 +33,11 @@ class RunResult:
     misses: int
     bytes_read: int
     bytes_prefetched: int
+    #: hits per *serving* tier; misses land in :attr:`tier_misses` keyed
+    #: by the file's *origin* tier, so the two together cover every read:
+    #: ``sum(tier_hits.values()) + sum(tier_misses.values()) == hits + misses``
     tier_hits: dict = field(default_factory=dict)
+    tier_misses: dict = field(default_factory=dict)
     ram_peak_bytes: float = 0.0
     evictions: int = 0
     extra: dict = field(default_factory=dict)
@@ -82,6 +86,7 @@ class MetricsCollector:
         self.bytes_written = 0
         self.read_time = 0.0
         self.tier_hits: dict[str, int] = defaultdict(int)
+        self.tier_misses: dict[str, int] = defaultdict(int)
         self.per_process_time: dict[int, float] = defaultdict(float)
         self.per_process_reads: dict[int, int] = defaultdict(int)
         self.per_app_hits: dict[str, int] = defaultdict(int)
@@ -110,15 +115,25 @@ class MetricsCollector:
         hit: bool,
         when: float,
         app: str = "app",
+        origin_name: Optional[str] = None,
     ) -> None:
-        """One segment read observation."""
+        """One segment read observation.
+
+        A hit is counted against the *serving* tier (``tier_name``); a
+        miss is counted against the file's *origin* tier
+        (``origin_name``, falling back to the serving tier when the
+        caller does not know the origin) — the attribution engine needs
+        the miss side keyed by where the bytes actually came from, and
+        the two maps together account for every read.
+        """
         if hit:
             self.hits += 1
             self.per_app_hits[app] += 1
+            self.tier_hits[tier_name] += 1
         else:
             self.misses += 1
             self.per_app_misses[app] += 1
-        self.tier_hits[tier_name] += 1
+            self.tier_misses[origin_name if origin_name is not None else tier_name] += 1
         self.bytes_read += nbytes
         self.read_time += duration
         self.per_process_time[pid] += duration
@@ -167,6 +182,7 @@ class MetricsCollector:
             bytes_read=self.bytes_read,
             bytes_prefetched=bytes_prefetched,
             tier_hits=dict(self.tier_hits),
+            tier_misses=dict(self.tier_misses),
             ram_peak_bytes=ram_peak_bytes,
             evictions=evictions,
             extra=dict(extra or {}),

@@ -21,6 +21,7 @@ and the simplest no-prefetching baseline run under the identical loop.
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.faults.injector import FaultInjector, fault_targets_for
@@ -89,6 +90,15 @@ class WorkflowRunner:
         self.ctx: RuntimeContext = cluster.context(
             metrics=self.metrics, seed=seed, telemetry=tel
         )
+        # decision provenance (diagnosis runs only); the runner records
+        # the read side and tells the log the hierarchy's shape, so
+        # baseline prefetchers get oracle/regret numbers too
+        self._prov = tel.provenance if tel is not None else None
+        #: wall seconds run() spent deriving the diagnosis report (an
+        #: offline analysis; kept out of the recording-overhead budget)
+        self.diagnosis_derive_s = 0.0
+        if self._prov is not None:
+            self._prov.set_tiers(self.ctx.hierarchy)
         self._app_done: dict[str, Event] = {}
         self._app_procs: dict[str, list] = defaultdict(list)
 
@@ -160,6 +170,13 @@ class WorkflowRunner:
         extra = {"profile_cost": self.prefetcher.profile_cost()}
         if tel is not None:
             extra["telemetry"] = tel.headline()
+            if tel.provenance is not None:
+                # offline analysis, not simulation hot path: its (real)
+                # wall cost is surfaced separately so the overhead
+                # benchmark can budget recording and derivation apart
+                derive_start = perf_counter()
+                extra["diagnosis"] = tel.diagnosis_report().headline()
+                self.diagnosis_derive_s = perf_counter() - derive_start
         result = self.metrics.finalize(
             solution=self.prefetcher.name,
             workload=self.workload.name,
@@ -186,6 +203,10 @@ class WorkflowRunner:
             reg.gauge(
                 f"reads.tier.{tier.name}",
                 fn=lambda name=tier.name: metrics.tier_hits.get(name, 0),
+            )
+            reg.gauge(
+                f"reads.tier.{tier.name}.miss",
+                fn=lambda name=tier.name: metrics.tier_misses.get(name, 0),
             )
 
     # -- per-rank body --------------------------------------------------------------
@@ -271,16 +292,22 @@ class WorkflowRunner:
 
         # per-segment accounting (duration attributed proportionally)
         total = sum(n for _k, _t, n in per_segment) or 1
+        origin_name = ctx.origin_tier(f).name
+        prov = self._prov
         for key, tier, nbytes in per_segment:
+            hit = ctx.is_hit(f, tier)
             self.metrics.record_read(
                 pid=spec.pid,
                 tier_name=tier.name,
                 nbytes=nbytes,
                 duration=duration * (nbytes / total),
-                hit=ctx.is_hit(f, tier),
+                hit=hit,
                 when=env.now,
                 app=spec.app,
+                origin_name=origin_name,
             )
+            if prov is not None:
+                prov.read(key, tier.name, origin_name, hit, nbytes, spec.pid)
         self.prefetcher.on_access(spec.pid, node, op.file_id, op.offset, op.size)
 
     # -- helpers -----------------------------------------------------------------------

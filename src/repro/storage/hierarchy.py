@@ -47,6 +47,11 @@ class StorageHierarchy:
         self.tier_failures = 0
         self.tier_recoveries = 0
         self.segments_displaced = 0
+        #: decision-provenance log (diagnosis runs only); :meth:`evict`
+        #: is the single choke point every cache departure goes through,
+        #: so one tap here covers rejection, invalidation and rollback —
+        #: callers set ``prov.evict_cause`` on the way in
+        self.prov = None
 
     def bind_telemetry(self, telemetry) -> None:
         """Register ledger counters and per-tier occupancy as gauges."""
@@ -55,6 +60,7 @@ class StorageHierarchy:
         tel = live(telemetry)
         if tel is None:
             return
+        self.prov = tel.provenance
         reg = tel.registry
         reg.gauge("hierarchy.placements", fn=lambda: self.placements)
         reg.gauge("hierarchy.evictions", fn=lambda: self.evictions)
@@ -181,6 +187,8 @@ class StorageHierarchy:
             return False
         tier.drop(key)
         self.evictions += 1
+        if self.prov is not None:
+            self.prov.evict(key, tier.name)
         return True
 
     def evict_all(self, keys: Iterable[SegmentKey]) -> int:

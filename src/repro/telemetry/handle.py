@@ -47,6 +47,13 @@ class Telemetry:
     sample_interval:
         Virtual-time cadence for the gauge/occupancy sampler the runner
         starts, or ``None`` for no periodic sampling.
+    diagnosis:
+        When True, the handle carries a
+        :class:`~repro.diagnosis.provenance.ProvenanceLog` and every
+        instrumented layer records decision provenance into it; the
+        runner folds the derived headline into
+        ``RunResult.extra["diagnosis"]`` and the full report is
+        available via :meth:`diagnosis_report`.
     """
 
     enabled = True
@@ -56,6 +63,7 @@ class Telemetry:
         label: str = "run",
         max_spans: int = 1_000_000,
         sample_interval: Optional[float] = None,
+        diagnosis: bool = False,
     ):
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError(f"sample_interval must be positive, got {sample_interval}")
@@ -64,6 +72,15 @@ class Telemetry:
         self.sample_interval = sample_interval
         self.registry = MetricRegistry()
         self.tracer: Optional[SpanTracer] = None
+        #: decision-provenance log, or None when diagnosis is off —
+        #: layers guard on ``tel.provenance is not None`` exactly like
+        #: the ``telemetry is None`` zero-overhead pattern
+        self.provenance = None
+        if diagnosis:
+            from repro.diagnosis.provenance import ProvenanceLog
+
+            self.provenance = ProvenanceLog()
+        self._diagnosis_report = None
         #: segment key -> eid of the last fs event that touched it, the
         #: link that lets a placement decision inherit its event's flow
         self.key_flow: dict = {}
@@ -86,6 +103,8 @@ class Telemetry:
             )
         self._env = env
         self.tracer = SpanTracer(env, max_spans=self.max_spans)
+        if self.provenance is not None:
+            self.provenance.bind_env(env)
         return self
 
     @property
@@ -119,6 +138,19 @@ class Telemetry:
         self._finalized = True
         for fn in self._finalizers:
             fn()
+
+    # -- diagnosis ---------------------------------------------------------
+    def diagnosis_report(self):
+        """The derived :class:`~repro.diagnosis.report.DiagnosisReport`,
+        or ``None`` when the run had diagnosis off.  Derivation happens
+        once and is cached (the runner triggers it for the headline)."""
+        if self.provenance is None:
+            return None
+        if self._diagnosis_report is None:
+            from repro.diagnosis.report import DiagnosisReport
+
+            self._diagnosis_report = DiagnosisReport.derive(self.provenance)
+        return self._diagnosis_report
 
     # -- summaries ---------------------------------------------------------
     def flow_latencies(self, start_name: str, end_name: str) -> list[float]:
@@ -203,10 +235,15 @@ class NullTelemetry:
     label = "null"
     tracer = None
     sample_interval = None
+    provenance = None
 
     def bind(self, env) -> "NullTelemetry":
         """No-op (matches :meth:`Telemetry.bind`)."""
         return self
+
+    def diagnosis_report(self):
+        """Diagnosis is never on for the null handle."""
+        return None
 
     @property
     def bound(self) -> bool:

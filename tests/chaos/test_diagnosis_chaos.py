@@ -1,0 +1,109 @@
+"""Diagnosis under fault injection: when a tier outage displaces
+resident segments and the engine re-homes them, the hits served from the
+re-homed copies must be credited to the *re-homing* decision (kind
+``rehome``), not to the original placement — and the waste partition
+invariant must survive the fault path."""
+
+from repro.core.config import HFetchConfig
+from repro.core.prefetcher import HFetchPrefetcher
+from repro.diagnosis.attribution import WASTE_CLASSES
+from repro.faults import FaultPlan
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster, TierSpec
+from repro.runtime.runner import WorkflowRunner
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.telemetry.handle import Telemetry
+from repro.workloads.montage import montage_workload
+
+MB = 1 << 20
+
+
+def _cluster(ranks):
+    return SimulatedCluster(
+        ClusterSpec(
+            tiers=(
+                TierSpec(DRAM, 16 * MB),
+                TierSpec(NVME, 32 * MB),
+                TierSpec(BURST_BUFFER, 256 * MB),
+            )
+        ).scaled_for(ranks)
+    )
+
+
+def run_diagnosed_montage(fault_plan=None, seed=2020):
+    """Montage shares images across ranks, so segments displaced by an
+    outage get re-read later — the re-homed copies actually serve."""
+    wl = montage_workload(processes=8, bytes_per_step=4 * MB, compute_time=0.05)
+    tel = Telemetry(label="chaos-diagnosis", diagnosis=True)
+    runner = WorkflowRunner(
+        _cluster(wl.num_processes),
+        wl,
+        HFetchPrefetcher(
+            HFetchConfig(engine_interval=0.05, engine_update_threshold=20)
+        ),
+        seed=seed,
+        fault_plan=fault_plan,
+        telemetry=tel,
+    )
+    result = runner.run()
+    return runner, result, tel.diagnosis_report()
+
+
+def _outage_plan(seed=3, frac=0.3):
+    # early enough in the run that the displaced, re-homed segments are
+    # still ahead of plenty of shared re-reads
+    _, baseline, _ = run_diagnosed_montage()
+    return (
+        FaultPlan(seed=seed).tier_outage("RAM", at=frac * baseline.end_to_end_time),
+        frac * baseline.end_to_end_time,
+    )
+
+
+def test_rehomed_placements_are_credited_to_the_rehoming_decision():
+    plan, outage_at = _outage_plan()
+    runner, result, report = run_diagnosed_montage(fault_plan=plan)
+    assert result.faults.get("tier_outage") == 1
+    rep = report.replay
+
+    # the outage displaced residents, and the engine re-placed them
+    assert rep.displaced_sids
+    rehome_decisions = {
+        did for did, d in rep.decisions.items() if d.kind == "rehome"
+    }
+    assert rehome_decisions
+
+    # hits on re-homed copies land on the re-homing decision...
+    assert report.attribution["hits_by_kind"].get("rehome", 0) >= 1
+    # ...and every such credit points at a decision made at/after the
+    # outage, for a segment the outage actually displaced
+    rehome_credits = [
+        (t, sid, did) for t, sid, did in rep.credits if did in rehome_decisions
+    ]
+    assert rehome_credits
+    for t, sid, did in rehome_credits:
+        dec = rep.decisions[did]
+        assert dec.kind == "rehome"
+        assert dec.t >= outage_at
+        assert sid in rep.displaced_sids
+        assert t >= dec.t
+
+
+def test_waste_partition_invariant_holds_under_faults():
+    plan, _outage_at = _outage_plan(seed=7)
+    _runner, _result, report = run_diagnosed_montage(fault_plan=plan)
+    w = report.waste
+    assert set(w["classes"]) == set(WASTE_CLASSES)
+    assert sum(w["classes"].values()) == w["total_moves"]
+    assert len(report.replay.move_class) == w["total_moves"]
+    moved = {did for did, d in report.replay.decisions.items() if d.moved}
+    assert set(report.replay.move_class) == moved
+
+
+def test_chaos_diagnosis_is_deterministic():
+    plan, _ = _outage_plan(seed=11)
+    _r1, result1, report1 = run_diagnosed_montage(fault_plan=plan)
+    _r2, result2, report2 = run_diagnosed_montage(fault_plan=plan)
+    assert result1.row() == result2.row()
+    assert report1.waste == report2.waste
+    assert report1.attribution == report2.attribution
+    assert report1.replay.credits == report2.replay.credits
+    assert report1.replay.displaced_sids == report2.replay.displaced_sids

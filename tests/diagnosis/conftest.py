@@ -1,0 +1,97 @@
+"""Shared helpers for the diagnosis suite: the telemetry suite's small
+cluster/workload pair plus diagnosis-instrumented run helpers and the
+Montage/WRF workloads the oracle acceptance invariant is checked on."""
+
+from repro.core.config import HFetchConfig
+from repro.core.prefetcher import HFetchPrefetcher
+from repro.runtime.cluster import ClusterSpec, SimulatedCluster, TierSpec
+from repro.runtime.runner import WorkflowRunner
+from repro.storage.devices import BURST_BUFFER, DRAM, NVME
+from repro.telemetry.handle import Telemetry
+from repro.workloads.synthetic import partitioned_sequential_workload
+
+MB = 1 << 20
+
+
+def small_cluster(ranks=16, bb_capacity=64 * MB):
+    spec = ClusterSpec(
+        tiers=(
+            TierSpec(DRAM, 16 * MB),
+            TierSpec(NVME, 32 * MB),
+            TierSpec(BURST_BUFFER, bb_capacity),
+        )
+    ).scaled_for(ranks)
+    return SimulatedCluster(spec)
+
+
+def small_workload():
+    return partitioned_sequential_workload(
+        processes=8, steps=3, bytes_per_proc_step=2 * MB, compute_time=0.05
+    )
+
+
+def montage_small(processes=8):
+    from repro.workloads.montage import montage_workload
+
+    return montage_workload(
+        processes=processes, bytes_per_step=4 * MB, compute_time=0.05
+    )
+
+
+def wrf_small(processes=8):
+    from repro.workloads.wrf import wrf_workload
+
+    return wrf_workload(
+        processes=processes, total_bytes=processes * 16 * MB, compute_time=0.05
+    )
+
+
+def hfetch_config(**overrides):
+    base = dict(engine_interval=0.05, engine_update_threshold=20)
+    base.update(overrides)
+    return HFetchConfig(**base)
+
+
+def run_diagnosed(workload=None, config=None, seed=2020, fault_plan=None,
+                  cluster=None):
+    """One diagnosis-instrumented HFetch run.
+
+    Returns ``(runner, result, report)``.  Montage/WRF stage their input
+    into the burst buffers, so the default cluster gives the BB tier
+    enough capacity to hold the staged bytes.
+    """
+    wl = workload if workload is not None else small_workload()
+    if cluster is None:
+        cluster = small_cluster(
+            ranks=max(16, wl.num_processes), bb_capacity=256 * MB
+        )
+    tel = Telemetry(label="diagnosis-test", diagnosis=True)
+    runner = WorkflowRunner(
+        cluster,
+        wl,
+        HFetchPrefetcher(config if config is not None else hfetch_config()),
+        seed=seed,
+        fault_plan=fault_plan,
+        telemetry=tel,
+    )
+    result = runner.run()
+    return runner, result, tel.diagnosis_report()
+
+
+def result_signature(result):
+    """Every observable of a run, as one comparable value (``extra`` is
+    excluded: diagnosis legitimately adds ``extra["diagnosis"]``)."""
+    return (
+        result.row(),
+        result.end_to_end_time,
+        result.read_time,
+        result.hits,
+        result.misses,
+        result.bytes_read,
+        result.bytes_prefetched,
+        result.tier_hits,
+        result.tier_misses,
+        result.ram_peak_bytes,
+        result.evictions,
+        result.faults,
+    )

@@ -1,0 +1,62 @@
+"""Waste accounting: the partition invariant (every physical prefetch
+move lands in exactly one class; the classes sum to the move total) and
+same-seed determinism of the whole diagnosis block."""
+
+from repro.diagnosis.attribution import WASTE_CLASSES
+
+from .conftest import montage_small, run_diagnosed, wrf_small
+
+
+def assert_waste_partition(report):
+    w = report.waste
+    assert set(w["classes"]) == set(WASTE_CLASSES)
+    assert sum(w["classes"].values()) == w["total_moves"]
+    # every classified lineage is a moved decision, classified once
+    assert len(report.replay.move_class) == w["total_moves"]
+    moved_dids = {
+        did for did, d in report.replay.decisions.items() if d.moved
+    }
+    assert set(report.replay.move_class) == moved_dids
+    assert w["used_bytes"] + w["wasted_bytes"] == w["moved_bytes"]
+    assert sum(w["wasted_bytes_by_tier"].values()) == w["wasted_bytes"]
+    assert all(t >= 0.0 for t in w["wasted_device_time_s_by_tier"].values())
+
+
+def test_every_move_classified_exactly_once_synthetic():
+    _runner, _result, report = run_diagnosed()
+    assert_waste_partition(report)
+    assert report.waste["total_moves"] > 0  # HFetch actually prefetched
+
+
+def test_every_move_classified_exactly_once_montage():
+    _runner, _result, report = run_diagnosed(workload=montage_small())
+    assert_waste_partition(report)
+
+
+def test_every_move_classified_exactly_once_wrf():
+    _runner, _result, report = run_diagnosed(workload=wrf_small())
+    assert_waste_partition(report)
+
+
+def test_used_fraction_consistent_with_classes():
+    _runner, _result, report = run_diagnosed()
+    w = report.waste
+    assert w["used_fraction"] == w["classes"]["used"] / w["total_moves"]
+
+
+def test_diagnosis_deterministic_across_same_seed_runs():
+    _r1, result1, report1 = run_diagnosed(seed=7)
+    _r2, result2, report2 = run_diagnosed(seed=7)
+    assert result1.row() == result2.row()
+    assert report1.waste == report2.waste
+    assert report1.attribution == report2.attribution
+    assert report1.drift == report2.drift
+    assert report1.oracle == report2.oracle
+    assert report1.replay.move_class == report2.replay.move_class
+    assert report1.replay.credits == report2.replay.credits
+
+
+def test_different_seeds_still_satisfy_partition():
+    for seed in (1, 2, 3):
+        _runner, _result, report = run_diagnosed(seed=seed)
+        assert_waste_partition(report)

@@ -110,15 +110,26 @@ def test_runner_records_per_app_metrics():
 # ------------------------------------------------------------------ metrics
 def test_collector_hit_accounting():
     m = MetricsCollector()
-    m.record_read(0, "RAM", MB, 0.01, hit=True, when=1.0)
-    m.record_read(0, "PFS", MB, 0.05, hit=False, when=2.0)
+    m.record_read(0, "RAM", MB, 0.01, hit=True, when=1.0, origin_name="PFS")
+    m.record_read(0, "PFS", MB, 0.05, hit=False, when=2.0, origin_name="PFS")
     assert m.total_reads == 2
     assert m.hit_ratio == 0.5
-    assert m.tier_hits == {"RAM": 1, "PFS": 1}
+    # hits are keyed by serving tier, misses by the file's origin tier;
+    # together they account for every read
+    assert m.tier_hits == {"RAM": 1}
+    assert m.tier_misses == {"PFS": 1}
+    assert sum(m.tier_hits.values()) + sum(m.tier_misses.values()) == m.total_reads
     r = m.finalize("X", "w", end_to_end_time=2.0)
     assert isinstance(r, RunResult)
     assert r.miss_ratio == 0.5
+    assert r.tier_misses == {"PFS": 1}
     assert r.row()["hit_ratio_%"] == 50.0
+
+
+def test_collector_miss_falls_back_to_serving_tier():
+    m = MetricsCollector()
+    m.record_read(0, "BurstBuffer", MB, 0.05, hit=False, when=1.0)
+    assert m.tier_misses == {"BurstBuffer": 1}
 
 
 def test_summarize_repeats_mean_and_variance():
